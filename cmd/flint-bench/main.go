@@ -1,0 +1,92 @@
+// Command flint-bench is the on-device benchmark tool of §3.2: it deploys
+// every Table 5 model architecture to the 27-device pool (simulated; see
+// DESIGN.md §2), reports the Table 5 rows, the Fig 4 per-device comparison,
+// and the Fig 1 hardware-population distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"flint/internal/device"
+	"flint/internal/model"
+	"flint/internal/report"
+)
+
+func main() {
+	records := flag.Int("records", 5000, "records per benchmark (paper uses 5,000)")
+	seed := flag.Int64("seed", 1, "benchmark seed")
+	fig1 := flag.Bool("fig1", false, "also print the Fig 1 device-population distribution")
+	fig4 := flag.Bool("fig4", false, "also print the Fig 4 per-device comparison (tasks A and B)")
+	csv := flag.Bool("csv", false, "emit Table 5 as CSV")
+	flag.Parse()
+
+	pool := device.BenchPool()
+	rows, err := device.Table5(pool, *records, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Table 5 — on-device evaluation over %d records across %d devices", *records, len(pool)),
+		"model", "description", "params", "storage", "network", "memory", "mean time", "stdev", "cpu%")
+	for _, r := range rows {
+		tbl.AddRow(
+			string(r.Model), r.Description,
+			fmt.Sprintf("%d", r.Params),
+			fmt.Sprintf("%.3f MB", r.StorageMB),
+			fmt.Sprintf("%.2f MB", r.NetworkMB),
+			fmt.Sprintf("%.2f MB", r.MemoryMB),
+			fmt.Sprintf("%.2f s", r.MeanTimeS),
+			fmt.Sprintf("%.2f s", r.StdevTimeS),
+			fmt.Sprintf("%.2f", r.MeanCPU),
+		)
+	}
+	if *csv {
+		if err := tbl.CSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println(tbl.String())
+	}
+
+	if *fig4 {
+		f4 := report.NewTable("Fig 4 — per-device training time (s / 5,000 records), tasks A and B",
+			"device", "platform", "task A (model B)", "task B (model E)")
+		for _, p := range pool {
+			ra, err := device.Run(model.KindB, p, *records, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rb, err := device.Run(model.KindE, p, *records, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f4.AddRow(p.Name, string(p.Platform),
+				fmt.Sprintf("%.1f", ra.TrainSeconds), fmt.Sprintf("%.1f", rb.TrainSeconds))
+		}
+		fmt.Println(f4.String())
+	}
+
+	if *fig1 {
+		pm := device.DefaultPopulation()
+		pm.Seed = *seed
+		devs, err := pm.Sample(100000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f1 := report.NewTable("Fig 1 — device-model concentration (100k sampled users)",
+			"platform", "devices", "distinct models", "top-8 share", "gray region")
+		for _, plat := range []device.Platform{device.IOS, device.Android} {
+			d := device.Distribution(devs, plat, 8)
+			top := 0.0
+			if len(d.TopShares) > 0 {
+				top = d.TopShares[len(d.TopShares)-1]
+			}
+			f1.AddRow(string(plat), fmt.Sprintf("%d", d.Devices),
+				fmt.Sprintf("%d", d.DistinctModels), report.Pct(top), report.Pct(d.GrayShare))
+		}
+		fmt.Println(f1.String())
+	}
+}

@@ -1,0 +1,131 @@
+// Command flint-proxy is the proxy data generator tool of §3.3: it derives
+// per-client FL partitions for each case-study domain, reports Table 2's
+// heterogeneity metadata (at the paper's full client populations for the
+// quantity statistics), prints the Fig 5 quantity distributions, and
+// optionally writes partition-per-executor files (§3.4's storage layout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flint/internal/data"
+	"flint/internal/metrics"
+	"flint/internal/partition"
+	"flint/internal/report"
+)
+
+func main() {
+	clients := flag.Int("clients", 400, "clients to materialize per domain (records + labels)")
+	executors := flag.Int("executors", 20, "executor partition count")
+	outDir := flag.String("out", "", "write executor partitions to this directory")
+	seed := flag.Int64("seed", 1, "generator seed")
+	fullScale := flag.Bool("fullscale", false, "compute Table 2 quantity stats at the paper's full populations (700k/1.02M/16.4M clients)")
+	flag.Parse()
+
+	type domainSpec struct {
+		name     string
+		quantity data.QuantityModel
+		pop      int
+		label    float64
+		lookback int
+		gen      func() (data.Generator, error)
+	}
+	domains := []domainSpec{
+		{"datasetA (ads)", data.AdsQuantity, 700_000, 0.28, 90,
+			func() (data.Generator, error) { return data.NewAdsGenerator(data.DefaultAdsConfig(*clients, *seed)) }},
+		{"datasetB (messaging)", data.MessagingQuantity, 1_024_950, 0.05, 28,
+			func() (data.Generator, error) {
+				return data.NewMessagingGenerator(data.DefaultMessagingConfig(*clients, *seed))
+			}},
+		{"datasetC (search)", data.SearchQuantity, 16_422_290, 0.06, 61,
+			func() (data.Generator, error) {
+				return data.NewSearchGenerator(data.DefaultSearchConfig(*clients, *seed))
+			}},
+	}
+
+	tbl := report.NewTable("Table 2 — proxy dataset characteristics",
+		"dataset", "client pop", "max records", "avg records", "std records", "label ratio", "lookback")
+	for _, d := range domains {
+		pop := *clients
+		if *fullScale {
+			pop = d.pop
+		}
+		// Quantity statistics at population scale without materializing
+		// records (the §3.4 trick that keeps 16.4M clients tractable).
+		qs, err := partition.QuantityStats(d.name, d.quantity, pop, d.label, d.lookback, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Label ratio from materialized down-scaled records.
+		gen, err := d.gen()
+		if err != nil {
+			log.Fatal(err)
+		}
+		shards := make([]data.ClientShard, *clients)
+		for i := range shards {
+			shards[i] = gen.GenerateClient(int64(i))
+		}
+		rs := partition.ComputeStats(d.name, shards, d.lookback)
+		tbl.AddRow(d.name,
+			fmt.Sprintf("%d", qs.ClientPop),
+			fmt.Sprintf("%d", qs.MaxRecords),
+			fmt.Sprintf("%.2f", qs.AvgRecords),
+			fmt.Sprintf("%.2f", qs.StdRecords),
+			fmt.Sprintf("%.2f", rs.LabelRatio),
+			fmt.Sprintf("%dd", d.lookback),
+		)
+
+		// Fig 5 — quantity distribution sparkline (log-bucketed counts).
+		quantities := make([]float64, len(shards))
+		for i, s := range shards {
+			quantities[i] = float64(len(s.Examples))
+		}
+		_, counts := metrics.Histogram(quantities, 30)
+		vals := make([]float64, len(counts))
+		for i, c := range counts {
+			vals[i] = float64(c)
+		}
+		fmt.Printf("Fig 5 — %-22s quantity histogram: %s (max bucket %d clients)\n",
+			d.name, report.Sparkline(vals), int(maxOf(vals)))
+
+		if *outDir != "" {
+			parts, err := partition.RoundRobin(shards, *executors)
+			if err != nil {
+				log.Fatal(err)
+			}
+			paths, err := partition.WriteAll(parts, fmt.Sprintf("%s/%s", *outDir, sanitize(d.name)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote %d executor partitions for %s\n", len(paths), d.name)
+		}
+	}
+	fmt.Println()
+	fmt.Println(tbl.String())
+	fmt.Println("(paper Table 2: A pop 700k avg 99 std 667 label 0.28; B pop 1.02M avg 184 std 374 label 0.05; C pop 16.4M avg 1.53 std 1.47 label 0.06)")
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,205 @@
+// Package aggregator implements the server-side update aggregation of the
+// FL platform: synchronous FedAvg (McMahan et al., 2017), asynchronous
+// FedBuff with staleness weighting (Nguyen et al., 2022), the privacy
+// enhancing technologies of §3.6 (update clipping + Gaussian noise for
+// FL-DP, additive-masking secure aggregation inside a simulated TEE), and
+// the robust-aggregation defenses evaluated against poisoning.
+package aggregator
+
+import (
+	"fmt"
+	"math"
+
+	"flint/internal/tensor"
+)
+
+// Update is one client's contribution: the delta between its locally
+// trained parameters and the global snapshot it started from.
+type Update struct {
+	ClientID int64
+	// Delta is local_params - base_params.
+	Delta tensor.Vector
+	// Weight is the aggregation weight, conventionally the client's
+	// example count |Dk|.
+	Weight float64
+	// Staleness counts server aggregations that happened between the
+	// client's dispatch and its arrival (0 in synchronous mode).
+	Staleness int
+}
+
+// Strategy folds a batch of updates into the global parameter vector.
+type Strategy interface {
+	Name() string
+	Aggregate(global tensor.Vector, updates []Update) error
+}
+
+// FedAvg is weighted federated averaging: global += Σ wᵢΔᵢ / Σ wᵢ.
+type FedAvg struct{}
+
+// Name implements Strategy.
+func (FedAvg) Name() string { return "fedavg" }
+
+// Aggregate implements Strategy.
+func (FedAvg) Aggregate(global tensor.Vector, updates []Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("aggregator: fedavg with no updates")
+	}
+	var totalW float64
+	for _, u := range updates {
+		if len(u.Delta) != len(global) {
+			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, len(u.Delta), len(global))
+		}
+		w := u.Weight
+		if w <= 0 {
+			w = 1
+		}
+		totalW += w
+	}
+	for _, u := range updates {
+		w := u.Weight
+		if w <= 0 {
+			w = 1
+		}
+		global.AddScaled(w/totalW, u.Delta)
+	}
+	return nil
+}
+
+// FedBuff applies a buffered asynchronous aggregation with polynomial
+// staleness discounting: global += ServerLR · Σ s(τᵢ)·Δᵢ / K, where
+// s(τ) = 1/(1+τ)^Alpha.
+type FedBuff struct {
+	// ServerLR is the server-side step size applied to the averaged
+	// buffer (1.0 recovers plain averaging).
+	ServerLR float64
+	// Alpha is the staleness-discount exponent; 0 disables discounting.
+	Alpha float64
+}
+
+// Name implements Strategy.
+func (f FedBuff) Name() string { return "fedbuff" }
+
+// StalenessWeight returns the discount applied to an update of staleness τ.
+func (f FedBuff) StalenessWeight(tau int) float64 {
+	if tau < 0 {
+		tau = 0
+	}
+	return 1 / math.Pow(1+float64(tau), f.Alpha)
+}
+
+// Aggregate implements Strategy: a data-weighted, staleness-discounted mean
+// of the buffer, global += ServerLR · Σ wᵢsᵢΔᵢ / Σ wᵢsᵢ, so fresh buffers
+// recover FedAvg's weighted-averaging semantics.
+func (f FedBuff) Aggregate(global tensor.Vector, updates []Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("aggregator: fedbuff with no updates")
+	}
+	lr := f.ServerLR
+	if lr <= 0 {
+		lr = 1
+	}
+	var totalW float64
+	for _, u := range updates {
+		if len(u.Delta) != len(global) {
+			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, len(u.Delta), len(global))
+		}
+		w := u.Weight
+		if w <= 0 {
+			w = 1
+		}
+		totalW += w * f.StalenessWeight(u.Staleness)
+	}
+	if totalW == 0 {
+		return fmt.Errorf("aggregator: fedbuff with zero total weight")
+	}
+	for _, u := range updates {
+		w := u.Weight
+		if w <= 0 {
+			w = 1
+		}
+		global.AddScaled(lr*w*f.StalenessWeight(u.Staleness)/totalW, u.Delta)
+	}
+	return nil
+}
+
+// TrimmedMean is a robust strategy: coordinate-wise mean after discarding
+// the TrimFrac highest and lowest values per coordinate, a standard defense
+// against update poisoning (§3.6, §4.2).
+type TrimmedMean struct {
+	// TrimFrac in [0, 0.5): fraction trimmed from each side.
+	TrimFrac float64
+}
+
+// Name implements Strategy.
+func (t TrimmedMean) Name() string { return "trimmed-mean" }
+
+// Aggregate implements Strategy.
+func (t TrimmedMean) Aggregate(global tensor.Vector, updates []Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("aggregator: trimmed mean with no updates")
+	}
+	if t.TrimFrac < 0 || t.TrimFrac >= 0.5 {
+		return fmt.Errorf("aggregator: trim fraction %v outside [0, 0.5)", t.TrimFrac)
+	}
+	for _, u := range updates {
+		if len(u.Delta) != len(global) {
+			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, len(u.Delta), len(global))
+		}
+	}
+	k := int(t.TrimFrac * float64(len(updates)))
+	vals := make([]float64, len(updates))
+	for j := range global {
+		for i, u := range updates {
+			vals[i] = u.Delta[j]
+		}
+		insertSort(vals)
+		var s float64
+		n := 0
+		for i := k; i < len(vals)-k; i++ {
+			s += vals[i]
+			n++
+		}
+		if n > 0 {
+			global[j] += s / float64(n)
+		}
+	}
+	return nil
+}
+
+// insertSort sorts small slices in place without package sort's interface
+// overhead — this is the inner loop over every model coordinate.
+func insertSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// NormBound wraps a strategy, clipping each update's L2 norm to Bound
+// before delegating — the norm-bounding defense of Sun et al. (2019).
+type NormBound struct {
+	Bound float64
+	Inner Strategy
+}
+
+// Name implements Strategy.
+func (n NormBound) Name() string { return fmt.Sprintf("norm-bound(%s)", n.Inner.Name()) }
+
+// Aggregate implements Strategy.
+func (n NormBound) Aggregate(global tensor.Vector, updates []Update) error {
+	if n.Bound <= 0 {
+		return fmt.Errorf("aggregator: norm bound must be positive, got %v", n.Bound)
+	}
+	if n.Inner == nil {
+		return fmt.Errorf("aggregator: norm bound needs an inner strategy")
+	}
+	clipped := make([]Update, len(updates))
+	for i, u := range updates {
+		c := u
+		c.Delta = u.Delta.Clone()
+		c.Delta.Clip(n.Bound)
+		clipped[i] = c
+	}
+	return n.Inner.Aggregate(global, clipped)
+}

@@ -1,0 +1,164 @@
+package availability
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMergeGapsIdempotent: merging an already-merged log changes nothing.
+func TestMergeGapsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var raw []Session
+		cursor := 0.0
+		for i := 0; i < 20; i++ {
+			cursor += rng.Float64() * 100
+			dur := rng.Float64()*200 + 1
+			raw = append(raw, Session{ClientID: 1, Start: cursor, End: cursor + dur})
+			cursor += dur
+		}
+		once := MergeGaps(raw, 30)
+		twice := MergeGaps(once, 30)
+		if len(once) != len(twice) {
+			t.Fatalf("idempotence violated: %d vs %d sessions", len(once), len(twice))
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				t.Fatal("idempotence violated: sessions differ")
+			}
+		}
+	}
+}
+
+// TestMergeGapsPreservesCoverage: every instant covered by an input session
+// stays covered after merging (merging only extends or joins).
+func TestMergeGapsPreservesCoverage(t *testing.T) {
+	raw := []Session{
+		{ClientID: 1, Start: 0, End: 10},
+		{ClientID: 1, Start: 15, End: 30},
+		{ClientID: 1, Start: 100, End: 110},
+	}
+	merged := MergeGaps(raw, 20)
+	covered := func(x float64) bool {
+		for _, s := range merged {
+			if s.Start <= x && x < s.End {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range []float64{0, 5, 9.9, 15, 29, 100, 109} {
+		if !covered(x) {
+			t.Fatalf("instant %v lost coverage", x)
+		}
+	}
+}
+
+// TestMergeGapsNeverIncreasesCount holds for arbitrary sorted inputs.
+func TestMergeGapsNeverIncreasesCount(t *testing.T) {
+	f := func(starts []float64) bool {
+		var raw []Session
+		cursor := 0.0
+		for _, s := range starts {
+			if s < 0 {
+				s = -s
+			}
+			if s > 1e6 {
+				continue
+			}
+			cursor += s
+			raw = append(raw, Session{ClientID: 1, Start: cursor, End: cursor + 10})
+			cursor += 10
+		}
+		return len(MergeGaps(raw, 25)) <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCriteriaMonotonicity: adding criteria can only shrink the admitted
+// set.
+func TestCriteriaMonotonicity(t *testing.T) {
+	log, err := GenerateLog(DefaultLogConfig(400, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := len(log)
+	chain := []Criteria{
+		{RequireWiFi: true},
+		{RequireWiFi: true, RequireBatteryHigh: true},
+		{RequireWiFi: true, RequireBatteryHigh: true, RequireModernOS: true},
+		{RequireWiFi: true, RequireBatteryHigh: true, RequireModernOS: true, MinSessionSec: 120},
+	}
+	for i, c := range chain {
+		got := len(Apply(log, c))
+		if got > prev {
+			t.Fatalf("criterion %d grew the admitted set: %d > %d", i, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestIntersectionBoundedByMarginals: P(A∩B∩C) <= min of the marginals.
+func TestIntersectionBoundedByMarginals(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		log, err := GenerateLog(DefaultLogConfig(500, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1, err := ComputeTable1(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []float64{t1.WiFi, t1.Battery, t1.ModernOS} {
+			if t1.Intersect > m+1e-12 {
+				t.Fatalf("intersection %v exceeds marginal %v", t1.Intersect, m)
+			}
+		}
+	}
+}
+
+// TestSeriesNormalization: every bucket lies in [0,1] with at least one 1.
+func TestSeriesNormalization(t *testing.T) {
+	log, err := GenerateLog(DefaultLogConfig(600, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := ComputeSeries(BuildTrace(log), 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPeak := false
+	for _, v := range series.Normalized {
+		if v < 0 || v > 1 {
+			t.Fatalf("bucket %v outside [0,1]", v)
+		}
+		if v == 1 {
+			sawPeak = true
+		}
+	}
+	if !sawPeak {
+		t.Fatal("normalized series must contain its peak")
+	}
+}
+
+// TestTraceWindowsMatchSessions: BuildTrace must not invent or drop windows.
+func TestTraceWindowsMatchSessions(t *testing.T) {
+	log, err := GenerateLog(DefaultLogConfig(100, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BuildTrace(log)
+	if len(tr.Windows()) != len(log) {
+		t.Fatalf("trace has %d windows for %d sessions", len(tr.Windows()), len(log))
+	}
+	var perClient int
+	for id := int64(0); id < 100; id++ {
+		perClient += len(tr.ClientWindows(id))
+	}
+	if perClient != len(log) {
+		t.Fatalf("per-client windows (%d) disagree with log (%d)", perClient, len(log))
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"flint/internal/data"
+	"flint/internal/model"
+	"flint/internal/partition"
+)
+
+// testCluster boots a leader and n executors over loopback TCP, splitting
+// the client shards round-robin as §3.4 prescribes.
+func testCluster(t *testing.T, n int, clients int) (*Leader, []*Executor, func()) {
+	t.Helper()
+	gen, err := data.NewAdsGenerator(data.DefaultAdsConfig(clients, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := gen.GenerateClients(clients)
+	parts, err := partition.RoundRobin(shards, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader := NewLeader(500 * time.Millisecond)
+	addr, closeFn, err := Serve(leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs []*Executor
+	for i := 0; i < n; i++ {
+		ex, err := NewExecutor(
+			string(rune('A'+i)), addr, parts[i].Shards, 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := make([]int64, 0, len(parts[i].Shards))
+		for _, s := range parts[i].Shards {
+			owned = append(owned, s.ClientID)
+		}
+		leader.Register(ex.ID, owned)
+		ex.Start()
+		execs = append(execs, ex)
+	}
+	cleanup := func() {
+		for _, ex := range execs {
+			ex.Stop()
+		}
+		closeFn()
+	}
+	return leader, execs, cleanup
+}
+
+func TestRoundAcrossExecutors(t *testing.T) {
+	leader, _, cleanup := testCluster(t, 3, 12)
+	defer cleanup()
+
+	global, err := model.New(model.KindB, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := global.Params().Clone()
+	clients := []int64{0, 1, 2, 3, 4, 5}
+	n, err := leader.RunRound(global, clients, 1, 16, 0.1, 7, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(clients) {
+		t.Fatalf("aggregated %d of %d", n, len(clients))
+	}
+	diff := global.Params().Clone()
+	diff.Sub(before)
+	if diff.Norm2() == 0 {
+		t.Fatal("round must move the global model")
+	}
+}
+
+func TestMissingClientReportsError(t *testing.T) {
+	leader, _, cleanup := testCluster(t, 2, 4)
+	defer cleanup()
+	global, _ := model.New(model.KindB, 1)
+	// Client 99 exists on no executor: every executor that pulls it
+	// reports an error; with only that client the round fails.
+	_, err := leader.RunRound(global, []int64{99}, 1, 8, 0.1, 1, 5*time.Second)
+	if err == nil {
+		t.Fatal("round over a missing client must fail")
+	}
+}
+
+func TestHaltOnUnhealthyExecutor(t *testing.T) {
+	leader, execs, cleanup := testCluster(t, 2, 8)
+	defer cleanup()
+
+	// Stall one executor; after the grace period the leader must halt.
+	execs[0].Pause()
+	deadline := time.Now().Add(3 * time.Second)
+	for leader.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if leader.Healthy() {
+		t.Fatal("leader should detect the stalled executor")
+	}
+	// Polls are denied while halted.
+	var poll PollReply
+	if err := leader.PollTask(&PollArgs{ExecutorID: "B"}, &poll); err != nil {
+		t.Fatal(err)
+	}
+	if !poll.Halted {
+		t.Fatal("dispatch must be halted while an executor is unhealthy")
+	}
+
+	// Recovery: the executor resumes pinging and dispatch unblocks.
+	execs[0].ResumeWork()
+	deadline = time.Now().Add(3 * time.Second)
+	for !leader.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !leader.Healthy() {
+		t.Fatal("leader should recover after the executor resumes")
+	}
+	// A full round completes post-recovery.
+	global, _ := model.New(model.KindB, 2)
+	if _, err := leader.RunRound(global, []int64{0, 1}, 1, 8, 0.1, 3, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitResultsTimeout(t *testing.T) {
+	leader := NewLeader(time.Second)
+	// No executors: waiting for a phantom id must time out quickly.
+	ids := leader.Enqueue([]Task{{ClientID: 1, Kind: "A"}})
+	if _, err := leader.WaitResults(ids, 50*time.Millisecond); err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestPingValidation(t *testing.T) {
+	leader := NewLeader(time.Second)
+	var reply PingReply
+	if err := leader.Ping(&PingArgs{}, &reply); err == nil {
+		t.Fatal("empty executor id must fail")
+	}
+}

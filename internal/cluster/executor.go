@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"flint/internal/data"
+	"flint/internal/model"
+	"flint/internal/tensor"
+)
+
+// Executor is a worker process that polls the leader for tasks, trains on
+// its locally-held partition, and submits deltas. Each executor owns one
+// partition of the proxy dataset (§3.4: "each executor loads a partition of
+// the proxy dataset and maps its records to clients").
+type Executor struct {
+	ID       string
+	shards   map[int64]data.ClientShard
+	client   *rpc.Client
+	replica  model.Model
+	interval time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	done    chan struct{}
+	// Paused simulates a hung process: no pings, no polls.
+	paused bool
+}
+
+// NewExecutor connects to the leader and prepares the local partition.
+func NewExecutor(id, leaderAddr string, shards []data.ClientShard, interval time.Duration) (*Executor, error) {
+	if id == "" {
+		return nil, fmt.Errorf("cluster: executor needs an id")
+	}
+	client, err := rpc.Dial("tcp", leaderAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial leader: %w", err)
+	}
+	m := make(map[int64]data.ClientShard, len(shards))
+	for _, s := range shards {
+		m[s.ClientID] = s
+	}
+	return &Executor{
+		ID:       id,
+		shards:   m,
+		client:   client,
+		interval: interval,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the poll loop.
+func (e *Executor) Start() {
+	go e.loop()
+}
+
+// Pause stops heartbeats and polling without closing the connection,
+// simulating a stalled executor the leader must notice.
+func (e *Executor) Pause() {
+	e.mu.Lock()
+	e.paused = true
+	e.mu.Unlock()
+}
+
+// ResumeWork restores heartbeats and polling.
+func (e *Executor) ResumeWork() {
+	e.mu.Lock()
+	e.paused = false
+	e.mu.Unlock()
+}
+
+// Stop terminates the loop and closes the connection.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	<-e.done
+	e.client.Close()
+}
+
+func (e *Executor) loop() {
+	defer close(e.done)
+	for {
+		e.mu.Lock()
+		stopped, paused := e.stopped, e.paused
+		e.mu.Unlock()
+		if stopped {
+			return
+		}
+		if paused {
+			time.Sleep(e.interval)
+			continue
+		}
+		var pong PingReply
+		if err := e.client.Call("Leader.Ping", &PingArgs{ExecutorID: e.ID}, &pong); err != nil {
+			return // leader gone
+		}
+		var poll PollReply
+		if err := e.client.Call("Leader.PollTask", &PollArgs{ExecutorID: e.ID}, &poll); err != nil {
+			return
+		}
+		if !poll.Available {
+			time.Sleep(e.interval)
+			continue
+		}
+		res := e.execute(poll.Task)
+		var ack SubmitReply
+		if err := e.client.Call("Leader.SubmitResult", &SubmitArgs{Result: res}, &ack); err != nil {
+			return
+		}
+	}
+}
+
+// execute trains the task's client locally and produces the delta.
+func (e *Executor) execute(t Task) Result {
+	res := Result{TaskID: t.TaskID, ClientID: t.ClientID}
+	shard, ok := e.shards[t.ClientID]
+	if !ok || len(shard.Examples) == 0 {
+		res.Err = fmt.Sprintf("executor %s holds no data for client %d", e.ID, t.ClientID)
+		return res
+	}
+	if e.replica == nil || string(e.replica.Kind()) != t.Kind {
+		m, err := model.New(model.Kind(t.Kind), 0)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		e.replica = m
+	}
+	if err := e.replica.SetParams(tensor.Vector(t.Params)); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	rng := rand.New(rand.NewSource(t.Seed ^ int64(t.TaskID)))
+	loss, err := model.TrainLocal(e.replica, shard.Examples,
+		model.LocalConfig{Epochs: t.Epochs, BatchSize: t.Batch, LR: t.LR}, rng)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	delta := e.replica.Params().Clone()
+	delta.Sub(tensor.Vector(t.Params))
+	res.Delta = delta
+	res.Weight = float64(len(shard.Examples))
+	res.Loss = loss
+	return res
+}

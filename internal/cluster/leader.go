@@ -1,0 +1,279 @@
+// Package cluster is a process-level realization of the experimental
+// framework's control plane (§3.4): a leader service that executors poll
+// for tasks over net/rpc, with the paper's fault-tolerance behavior — "to
+// recover from executor failures, the leader node halts dispatching tasks
+// until all executors have pinged it with a healthy status-code."
+//
+// The in-process fedsim package simulates millions of clients in virtual
+// time; this package demonstrates the same leader/executor contract across
+// real process boundaries at small scale.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"flint/internal/aggregator"
+	"flint/internal/model"
+	"flint/internal/tensor"
+)
+
+// Task is one unit of client training dispatched to an executor. The
+// executor resolves the client's data from its own partition (partitions
+// are distributed ahead of time, §3.4).
+type Task struct {
+	TaskID   uint64
+	ClientID int64
+	Kind     string
+	Params   []float64
+	Epochs   int
+	Batch    int
+	LR       float64
+	Seed     int64
+}
+
+// Result is an executor's completed task.
+type Result struct {
+	TaskID   uint64
+	ClientID int64
+	Delta    []float64
+	Weight   float64
+	Loss     float64
+	Err      string
+}
+
+// PingArgs carries an executor heartbeat.
+type PingArgs struct{ ExecutorID string }
+
+// PingReply acknowledges a heartbeat.
+type PingReply struct{ OK bool }
+
+// PollArgs requests work.
+type PollArgs struct{ ExecutorID string }
+
+// PollReply carries a task when available; Halted reports that dispatch is
+// frozen pending executor recovery.
+type PollReply struct {
+	Available bool
+	Halted    bool
+	Task      Task
+}
+
+// SubmitArgs returns a result.
+type SubmitArgs struct{ Result Result }
+
+// SubmitReply acknowledges a result.
+type SubmitReply struct{ OK bool }
+
+// Leader is the RPC-served coordination service.
+type Leader struct {
+	mu          sync.Mutex
+	pending     []Task
+	results     map[uint64]Result
+	lastPing    map[string]time.Time
+	owner       map[int64]string // client -> executor holding its partition
+	healthGrace time.Duration
+	nextTask    uint64
+	resultCh    chan struct{}
+}
+
+// NewLeader creates a leader; executors must ping at least every grace
+// period or dispatch halts.
+func NewLeader(grace time.Duration) *Leader {
+	return &Leader{
+		results:     make(map[uint64]Result),
+		lastPing:    make(map[string]time.Time),
+		owner:       make(map[int64]string),
+		healthGrace: grace,
+		resultCh:    make(chan struct{}, 1024),
+	}
+}
+
+// Register declares an executor as part of the roster (counted for health)
+// together with the clients whose partition it loaded; tasks for those
+// clients are only handed to this executor.
+func (l *Leader) Register(executorID string, clients []int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lastPing[executorID] = time.Now()
+	for _, c := range clients {
+		l.owner[c] = executorID
+	}
+}
+
+// Ping is the executor heartbeat RPC.
+func (l *Leader) Ping(args *PingArgs, reply *PingReply) error {
+	if args.ExecutorID == "" {
+		return fmt.Errorf("cluster: ping without executor id")
+	}
+	l.mu.Lock()
+	l.lastPing[args.ExecutorID] = time.Now()
+	l.mu.Unlock()
+	reply.OK = true
+	return nil
+}
+
+// healthyLocked reports whether every registered executor pinged recently.
+func (l *Leader) healthyLocked() bool {
+	now := time.Now()
+	for _, last := range l.lastPing {
+		if now.Sub(last) > l.healthGrace {
+			return false
+		}
+	}
+	return true
+}
+
+// Healthy reports cluster health (all executors within the grace window).
+func (l *Leader) Healthy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.healthyLocked()
+}
+
+// PollTask hands out the next pending task owned by the calling executor
+// (unowned clients go to anyone) unless the cluster is unhealthy, in which
+// case dispatch is halted.
+func (l *Leader) PollTask(args *PollArgs, reply *PollReply) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.healthyLocked() {
+		reply.Halted = true
+		return nil
+	}
+	for i, t := range l.pending {
+		owner, owned := l.owner[t.ClientID]
+		if owned && owner != args.ExecutorID {
+			continue
+		}
+		reply.Task = t
+		l.pending = append(l.pending[:i], l.pending[i+1:]...)
+		reply.Available = true
+		return nil
+	}
+	return nil
+}
+
+// SubmitResult records a completed task.
+func (l *Leader) SubmitResult(args *SubmitArgs, reply *SubmitReply) error {
+	l.mu.Lock()
+	l.results[args.Result.TaskID] = args.Result
+	l.mu.Unlock()
+	select {
+	case l.resultCh <- struct{}{}:
+	default:
+	}
+	reply.OK = true
+	return nil
+}
+
+// Enqueue schedules tasks for dispatch and returns their ids.
+func (l *Leader) Enqueue(tasks []Task) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]uint64, len(tasks))
+	for i := range tasks {
+		l.nextTask++
+		tasks[i].TaskID = l.nextTask
+		ids[i] = l.nextTask
+		l.pending = append(l.pending, tasks[i])
+	}
+	return ids
+}
+
+// WaitResults blocks until all ids are complete or the timeout passes.
+func (l *Leader) WaitResults(ids []uint64, timeout time.Duration) (map[uint64]Result, error) {
+	deadline := time.After(timeout)
+	for {
+		l.mu.Lock()
+		done := 0
+		for _, id := range ids {
+			if _, ok := l.results[id]; ok {
+				done++
+			}
+		}
+		if done == len(ids) {
+			out := make(map[uint64]Result, len(ids))
+			for _, id := range ids {
+				out[id] = l.results[id]
+			}
+			l.mu.Unlock()
+			return out, nil
+		}
+		l.mu.Unlock()
+		select {
+		case <-l.resultCh:
+		case <-deadline:
+			return nil, fmt.Errorf("cluster: timed out waiting for %d results", len(ids))
+		}
+	}
+}
+
+// RunRound drives one synchronous FedAvg round over the given clients: it
+// enqueues one task per client with the current global parameters, waits
+// for results, and aggregates the successful deltas.
+func (l *Leader) RunRound(global model.Model, clients []int64, epochs, batch int, lr float64, seed int64, timeout time.Duration) (int, error) {
+	params := global.Params()
+	tasks := make([]Task, len(clients))
+	for i, c := range clients {
+		tasks[i] = Task{
+			ClientID: c,
+			Kind:     string(global.Kind()),
+			Params:   append([]float64(nil), params...),
+			Epochs:   epochs,
+			Batch:    batch,
+			LR:       lr,
+			Seed:     seed,
+		}
+	}
+	ids := l.Enqueue(tasks)
+	results, err := l.WaitResults(ids, timeout)
+	if err != nil {
+		return 0, err
+	}
+	var updates []aggregator.Update
+	for _, id := range ids {
+		r := results[id]
+		if r.Err != "" {
+			continue
+		}
+		updates = append(updates, aggregator.Update{
+			ClientID: r.ClientID,
+			Delta:    tensor.Vector(r.Delta),
+			Weight:   r.Weight,
+		})
+	}
+	if len(updates) == 0 {
+		return 0, fmt.Errorf("cluster: round produced no successful updates")
+	}
+	if err := (aggregator.FedAvg{}).Aggregate(params, updates); err != nil {
+		return 0, err
+	}
+	return len(updates), nil
+}
+
+// Serve registers the leader on a TCP listener and serves connections until
+// the listener closes. Returns the bound address.
+func Serve(l *Leader) (string, func() error, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Leader", l); err != nil {
+		return "", nil, fmt.Errorf("cluster: register: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr().String(), ln.Close, nil
+}

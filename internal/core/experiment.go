@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flint/internal/data"
+	"flint/internal/fedsim"
+	"flint/internal/model"
+)
+
+// CaseStudyResult is one Table 4 row: the FL job's projected training time
+// and its offline-metric difference against the centralized counterpart.
+type CaseStudyResult struct {
+	Domain            Domain
+	Metric            model.Metric
+	CentralizedMetric float64
+	FLMetric          float64
+	// BaseRate is the eval set's positive-label ratio — the chance-level
+	// AUPR a useless model would score (0 for ranking metrics).
+	BaseRate float64
+	// PerfDiffPct is 100·(FL − centralized)/centralized, the Table 4
+	// "performance difference".
+	PerfDiffPct float64
+	// TrainingVTimeSec is the virtual time to the FL job's best metric.
+	TrainingVTimeSec float64
+	// TimeToToleranceSec is the Table 4 "projected training time to reach
+	// convergence": the first virtual time at which the FL metric enters
+	// the acceptable range (within ToleranceFrac of centralized). Falls
+	// back to TrainingVTimeSec when never reached.
+	TimeToToleranceSec float64
+	// ReachedTolerance reports whether the acceptable range was reached.
+	ReachedTolerance bool
+	Report           *fedsim.Report
+}
+
+// ToleranceFrac is §4.1's accuracy-degradation tolerance (up to 5%).
+const ToleranceFrac = 0.05
+
+// RunCentralized trains the offline baseline on the pooled proxy dataset
+// and evaluates it on the shared held-out set.
+func RunCentralized(spec Spec, gen data.Generator, scale Scale, eval *data.Dataset, seed int64) (float64, error) {
+	pooled := data.Pool(gen, scale.Clients)
+	if pooled.Len() == 0 {
+		return 0, fmt.Errorf("core: empty pooled dataset for %s", spec.Domain)
+	}
+	m, err := model.New(spec.Kind, seed)
+	if err != nil {
+		return 0, err
+	}
+	cfg := model.CentralizedConfig{
+		Epochs:    spec.CentralizedEpochs,
+		BatchSize: 32,
+		Schedule:  spec.Schedule,
+		Seed:      seed,
+	}
+	if _, err := model.TrainCentralized(m, pooled, cfg); err != nil {
+		return 0, err
+	}
+	return model.Eval(m, eval, spec.Metric)
+}
+
+// RunCaseStudy executes one domain's §4 evaluation: centralized baseline,
+// FL simulation, and the comparison row.
+func RunCaseStudy(d Domain, scale Scale, seed int64) (*CaseStudyResult, error) {
+	spec, err := SpecFor(d)
+	if err != nil {
+		return nil, err
+	}
+	env, gen, err := BuildEnvironment(spec, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	central, err := RunCentralized(spec, gen, scale, env.EvalSet, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := AsyncConfig(spec, scale, seed)
+	rep, err := fedsim.Run(cfg, env)
+	if err != nil {
+		return nil, err
+	}
+	res := &CaseStudyResult{
+		Domain:            d,
+		Metric:            spec.Metric,
+		CentralizedMetric: central,
+		Report:            rep,
+	}
+	if spec.Metric == model.MetricAUPR {
+		res.BaseRate = env.EvalSet.LabelRatio()
+	}
+	// Use the FL job's best evaluated round: production would deploy the
+	// best checkpoint, and the time-to-best is the projected training time.
+	best := math.Inf(-1)
+	bestTime := rep.FinalVTime
+	for _, r := range rep.Rounds {
+		if r.Evaluated() && r.Metric > best {
+			best = r.Metric
+			bestTime = r.VTime
+		}
+	}
+	if math.IsInf(best, -1) {
+		return nil, fmt.Errorf("core: FL run for %s produced no evaluations", d)
+	}
+	res.FLMetric = best
+	res.TrainingVTimeSec = bestTime
+	if central != 0 {
+		res.PerfDiffPct = 100 * (best - central) / central
+	}
+	// Table 4's training time: first entry into the acceptable range.
+	res.TimeToToleranceSec = bestTime
+	target := central * (1 - ToleranceFrac)
+	for _, r := range rep.Rounds {
+		if r.Evaluated() && r.Metric >= target {
+			res.TimeToToleranceSec = r.VTime
+			res.ReachedTolerance = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// ModeComparison is one Table 3 column: FedBuff vs FedAvg run to the same
+// quality bar.
+type ModeComparison struct {
+	Domain Domain
+	// SpeedUp is syncTime / asyncTime in virtual time to target.
+	SpeedUp float64
+	// AsyncTasksStarted includes failed and stale tasks (Table 3).
+	AsyncTasksStarted int
+	// AsyncComputeSec is the async job's total client computation.
+	AsyncComputeSec float64
+	SyncReport      *fedsim.Report
+	AsyncReport     *fedsim.Report
+	TargetMetric    float64
+}
+
+// timeToMetric returns the first virtual time at which the report's eval
+// metric reached the target, or the final vtime when it never did.
+func timeToMetric(rep *fedsim.Report, target float64) (float64, bool) {
+	for _, r := range rep.Rounds {
+		if r.Evaluated() && r.Metric >= target {
+			return r.VTime, true
+		}
+	}
+	return rep.FinalVTime, false
+}
+
+// ModeOption adjusts the two job configs of a mode comparison (e.g. a
+// tighter sync deadline or a different staleness limit) before the runs.
+type ModeOption func(syncCfg, asyncCfg *fedsim.Config)
+
+// CompareModes runs both training modes on a shared environment and
+// compares their virtual time to a common target metric — the Table 3
+// protocol. The target is derived from a probe run: the lower of the two
+// modes' final metrics scaled by headroom, so both modes can reach it.
+func CompareModes(d Domain, scale Scale, seed int64, headroom float64, opts ...ModeOption) (*ModeComparison, error) {
+	if headroom <= 0 || headroom > 1 {
+		return nil, fmt.Errorf("core: headroom %v outside (0,1]", headroom)
+	}
+	spec, err := SpecFor(d)
+	if err != nil {
+		return nil, err
+	}
+	envSync, _, err := BuildEnvironment(spec, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	envAsync, _, err := BuildEnvironment(spec, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	syncCfg := SyncConfig(spec, scale, seed)
+	asyncCfg := AsyncConfig(spec, scale, seed)
+	for _, opt := range opts {
+		opt(&syncCfg, &asyncCfg)
+	}
+	syncRep, err := fedsim.Run(syncCfg, envSync)
+	if err != nil {
+		return nil, err
+	}
+	asyncRep, err := fedsim.Run(asyncCfg, envAsync)
+	if err != nil {
+		return nil, err
+	}
+	syncBest := bestMetric(syncRep)
+	asyncBest := bestMetric(asyncRep)
+	target := math.Min(syncBest, asyncBest) * headroom
+	syncTime, _ := timeToMetric(syncRep, target)
+	asyncTime, _ := timeToMetric(asyncRep, target)
+	cmp := &ModeComparison{
+		Domain:            d,
+		AsyncTasksStarted: asyncRep.TotalStarted,
+		AsyncComputeSec:   asyncRep.TotalComputeSec,
+		SyncReport:        syncRep,
+		AsyncReport:       asyncRep,
+		TargetMetric:      target,
+	}
+	if asyncTime > 0 {
+		cmp.SpeedUp = syncTime / asyncTime
+	}
+	return cmp, nil
+}
+
+func bestMetric(rep *fedsim.Report) float64 {
+	best := math.Inf(-1)
+	for _, r := range rep.Rounds {
+		if r.Evaluated() && r.Metric > best {
+			best = r.Metric
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}
+
+// LRTrial is one Fig 10 curve: a schedule's metric trajectory over rounds.
+type LRTrial struct {
+	Schedule string
+	Rounds   []int
+	Metrics  []float64
+	Final    float64
+}
+
+// RunLRStudy reproduces Fig 10: N trials of each candidate schedule on the
+// ads task, exposing training stability differences. Returns one trial set
+// per schedule.
+func RunLRStudy(scale Scale, schedules []model.Schedule, trials int, seed int64) (map[string][]LRTrial, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("core: trials must be positive, got %d", trials)
+	}
+	spec, err := SpecFor(Ads)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]LRTrial)
+	for _, sched := range schedules {
+		for trial := 0; trial < trials; trial++ {
+			trialSeed := seed + int64(trial)*1000
+			env, _, err := BuildEnvironment(spec, scale, trialSeed)
+			if err != nil {
+				return nil, err
+			}
+			cfg := AsyncConfig(spec, scale, trialSeed)
+			cfg.Schedule = sched
+			cfg.EvalEvery = 2
+			rep, err := fedsim.Run(cfg, env)
+			if err != nil {
+				return nil, err
+			}
+			rounds, _, vals := rep.MetricSeries()
+			tr := LRTrial{Schedule: sched.String(), Rounds: rounds, Metrics: vals}
+			if len(vals) > 0 {
+				tr.Final = vals[len(vals)-1]
+			}
+			out[sched.String()] = append(out[sched.String()], tr)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generator is the common contract of the domain workload generators.
+// Client shards are deterministic functions of (seed, client id), which is
+// what lets simulation executors materialize partitions lazily instead of
+// holding millions of shards in memory (paper §3.4, "Scalability").
+type Generator interface {
+	Name() string
+	NumClients() int
+	GenerateClient(id int64) ClientShard
+	TestSet(n int) *Dataset
+}
+
+// Pool materializes the first n clients of g and concatenates their records
+// into one centralized dataset — the "centralized counterpart" used for
+// baseline training in Table 4.
+func Pool(g Generator, n int) *Dataset {
+	if n > g.NumClients() {
+		n = g.NumClients()
+	}
+	ds := &Dataset{}
+	for id := int64(0); id < int64(n); id++ {
+		shard := g.GenerateClient(id)
+		ds.Examples = append(ds.Examples, shard.Examples...)
+	}
+	return ds
+}
+
+// InputSpec describes the record shape a model consumes; the dummy generator
+// uses it to fabricate benchmark payloads ("deploy them for training on
+// dummy data", §4.1).
+type InputSpec struct {
+	DenseDim  int
+	SparseDim int
+	ActiveLo  int
+	ActiveHi  int
+	Vocab     int
+	SeqLo     int
+	SeqHi     int
+	Tasks     int
+}
+
+// Dummy generates n unlabeled-but-labeled records matching spec, with
+// Bernoulli(0.5) labels. It is the workload for on-device benchmarks, where
+// only compute cost matters, not signal.
+func Dummy(spec InputSpec, n int, seed int64) (*Dataset, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("data: dummy size %d negative", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{Examples: make([]*Example, n)}
+	for i := 0; i < n; i++ {
+		ex := &Example{ClientID: 0}
+		if spec.DenseDim > 0 {
+			ex.Dense = make([]float64, spec.DenseDim)
+			for j := range ex.Dense {
+				ex.Dense[j] = rng.NormFloat64()
+			}
+		}
+		if spec.SparseDim > 0 {
+			lo, hi := spec.ActiveLo, spec.ActiveHi
+			if lo <= 0 {
+				lo = 1
+			}
+			if hi < lo {
+				hi = lo
+			}
+			active := lo + rng.Intn(hi-lo+1)
+			if active > spec.SparseDim {
+				active = spec.SparseDim
+			}
+			seen := make(map[int]struct{}, active)
+			for len(seen) < active {
+				seen[rng.Intn(spec.SparseDim)] = struct{}{}
+			}
+			for idx := range seen {
+				ex.Sparse = append(ex.Sparse, idx)
+			}
+		}
+		if spec.Vocab > 0 {
+			lo, hi := spec.SeqLo, spec.SeqHi
+			if lo <= 0 {
+				lo = 1
+			}
+			if hi < lo {
+				hi = lo
+			}
+			n := lo + rng.Intn(hi-lo+1)
+			ex.Tokens = make([]int, n)
+			for j := range ex.Tokens {
+				ex.Tokens[j] = rng.Intn(spec.Vocab)
+			}
+		}
+		if rng.Intn(2) == 1 {
+			ex.Label = 1
+		}
+		if spec.Tasks > 1 {
+			ex.Tasks = make([]float64, spec.Tasks)
+			for t := range ex.Tasks {
+				if rng.Intn(2) == 1 {
+					ex.Tasks[t] = 1
+				}
+			}
+			ex.Tasks[0] = ex.Label
+		}
+		ds.Examples[i] = ex
+	}
+	return ds, nil
+}

@@ -1,0 +1,95 @@
+package device
+
+import (
+	"fmt"
+
+	"flint/internal/model"
+)
+
+// CompatibilityPolicy encodes §3.2's compute-capability criterion: "based
+// on the device benchmark results, the modeler can generate a list of
+// devices and OS versions that have acceptable worst-case device impact and
+// are compatible with the model architecture."
+type CompatibilityPolicy struct {
+	// MaxTrainSeconds bounds the device's projected time over
+	// BenchRecords records (worst-case impact on the user).
+	MaxTrainSeconds float64
+	// BenchRecords is the record budget the bound applies to (the paper
+	// benchmarks 5,000 records).
+	BenchRecords int
+	// MinRAMMB excludes devices that cannot hold the training memory
+	// footprint comfortably.
+	MinRAMMB int
+	// MaxCPUPercent bounds mean CPU usage during training.
+	MaxCPUPercent float64
+}
+
+// DefaultCompatibility mirrors the case studies: a model must train 5,000
+// records in a few minutes worst-case without monopolizing the device.
+var DefaultCompatibility = CompatibilityPolicy{
+	MaxTrainSeconds: 300,
+	BenchRecords:    5000,
+	MinRAMMB:        2048,
+	MaxCPUPercent:   15,
+}
+
+// Validate reports policy errors.
+func (p CompatibilityPolicy) Validate() error {
+	if p.MaxTrainSeconds <= 0 {
+		return fmt.Errorf("device: policy needs MaxTrainSeconds > 0")
+	}
+	if p.BenchRecords <= 0 {
+		return fmt.Errorf("device: policy needs BenchRecords > 0")
+	}
+	return nil
+}
+
+// CompatibleDevices benchmarks the model on every pool device and returns
+// the set passing the policy — the list that feeds the availability
+// criteria's CompatibleDevices filter. The returned report maps each
+// excluded device to its reason.
+func CompatibleDevices(kind model.Kind, pool []Profile, policy CompatibilityPolicy) (map[string]bool, map[string]string, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(pool) == 0 {
+		return nil, nil, fmt.Errorf("device: empty pool")
+	}
+	ok := make(map[string]bool)
+	excluded := make(map[string]string)
+	for _, p := range pool {
+		r, err := Run(kind, p, policy.BenchRecords, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case r.TrainSeconds > policy.MaxTrainSeconds:
+			excluded[p.Name] = fmt.Sprintf("train %.0fs > %.0fs", r.TrainSeconds, policy.MaxTrainSeconds)
+		case policy.MinRAMMB > 0 && p.RAMMB < policy.MinRAMMB:
+			excluded[p.Name] = fmt.Sprintf("RAM %d MB < %d MB", p.RAMMB, policy.MinRAMMB)
+		case policy.MaxCPUPercent > 0 && r.CPUPercent > policy.MaxCPUPercent:
+			excluded[p.Name] = fmt.Sprintf("cpu %.1f%% > %.1f%%", r.CPUPercent, policy.MaxCPUPercent)
+		default:
+			ok[p.Name] = true
+		}
+	}
+	return ok, excluded, nil
+}
+
+// CoverageShare returns the installed-base share covered by a compatible
+// set — the fairness lens of §3.2: "if a device hardware criterion
+// introduces biased model performance on users of older phones, then the
+// hardware requirement needs to be relaxed."
+func CoverageShare(pool []Profile, compatible map[string]bool) float64 {
+	var total, covered float64
+	for _, p := range pool {
+		total += p.Share
+		if compatible[p.Name] {
+			covered += p.Share
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return covered / total
+}

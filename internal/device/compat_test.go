@@ -1,0 +1,79 @@
+package device
+
+import (
+	"testing"
+
+	"flint/internal/model"
+)
+
+func TestCompatibleDevicesTinyModelCoversAll(t *testing.T) {
+	pool := BenchPool()
+	ok, excluded, err := CompatibleDevices(model.KindA, pool, DefaultCompatibility)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tiny model trains 5k records in seconds everywhere.
+	if len(ok) != len(pool) {
+		t.Fatalf("model A should be compatible everywhere, excluded: %v", excluded)
+	}
+	if got := CoverageShare(pool, ok); got < 0.999 {
+		t.Fatalf("coverage %v", got)
+	}
+}
+
+func TestCompatibleDevicesHeavyModelExcludesLowEnd(t *testing.T) {
+	pool := BenchPool()
+	policy := CompatibilityPolicy{MaxTrainSeconds: 300, BenchRecords: 5000, MinRAMMB: 3072}
+	ok, excluded, err := CompatibleDevices(model.KindE, pool, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(excluded) == 0 {
+		t.Fatal("model E at a 300s bound must exclude slow devices")
+	}
+	if ok["Galaxy-J7"] {
+		t.Fatal("the slowest device must be excluded for model E")
+	}
+	if !ok["iPhone-13"] {
+		t.Fatalf("the fastest device must stay compatible: %v", excluded["iPhone-13"])
+	}
+	share := CoverageShare(pool, ok)
+	if share <= 0 || share >= 1 {
+		t.Fatalf("coverage %v should be a strict subset", share)
+	}
+}
+
+func TestCompatibilityRAMGate(t *testing.T) {
+	pool := BenchPool()
+	policy := CompatibilityPolicy{MaxTrainSeconds: 1e9, BenchRecords: 100, MinRAMMB: 4096}
+	ok, excluded, err := CompatibleDevices(model.KindA, pool, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range ok {
+		if ByName(pool)[name].RAMMB < 4096 {
+			t.Fatalf("device %s passed despite low RAM", name)
+		}
+	}
+	found := false
+	for _, reason := range excluded {
+		if len(reason) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("exclusion reasons must be reported")
+	}
+}
+
+func TestCompatibilityValidation(t *testing.T) {
+	if _, _, err := CompatibleDevices(model.KindA, BenchPool(), CompatibilityPolicy{}); err == nil {
+		t.Fatal("empty policy must fail")
+	}
+	if _, _, err := CompatibleDevices(model.KindA, nil, DefaultCompatibility); err == nil {
+		t.Fatal("empty pool must fail")
+	}
+	if CoverageShare(nil, nil) != 0 {
+		t.Fatal("empty coverage must be 0")
+	}
+}

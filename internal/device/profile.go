@@ -1,0 +1,214 @@
+// Package device models the heterogeneous client hardware pool of the paper
+// (§3.2): per-device compute profiles that substitute for the AWS Device
+// Farm pool (27 physical devices), the platform population mix behind Fig 1,
+// and the on-device benchmark harness behind Table 5 and Fig 4.
+package device
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Platform is the mobile OS family.
+type Platform string
+
+// The two platforms of Fig 1.
+const (
+	IOS     Platform = "iOS"
+	Android Platform = "Android"
+)
+
+// Profile describes one device model's effective training capability.
+// Numbers are calibrated so the 27-device pool reproduces Table 5's
+// time scale and spread (stdev ≈ 70% of mean); see DESIGN.md §2.
+type Profile struct {
+	Name     string
+	Platform Platform
+	// MatmulGFLOPS is sustained single-core training throughput on dense
+	// matmul-dominated graphs, in GFLOP/s (framework overhead included).
+	MatmulGFLOPS float64
+	// GatherGFLOPS is throughput on gather/elementwise-dominated graphs.
+	// The two dimensions differ per device — some chips have fast SIMD
+	// matmul but slow memory systems — which is what makes "devices that
+	// are optimized for one task worse for another" (Fig 4).
+	GatherGFLOPS float64
+	// PrepMicros is the per-prep-unit cost in microseconds (feature
+	// hashing, vocab lookups, tokenization), driven by storage and
+	// single-thread speed.
+	PrepMicros float64
+	// Cores is the CPU core count (training pins one core).
+	Cores int
+	// RAMMB is device memory, a participation gate for large models.
+	RAMMB int
+	// ModernOSProb is the probability that a session from this device
+	// runs an OS released after Sept 2019 (Table 1 criterion C).
+	ModernOSProb float64
+	// Share is the device's share of the installed base, used when
+	// sampling the user population.
+	Share float64
+}
+
+// BenchPool returns the 27-device benchmark pool substituting for the
+// paper's AWS Device Farm deployment: "older and newer generations of
+// popular phones and tablets".
+func BenchPool() []Profile {
+	return []Profile{
+		// iOS: fewer models, tightly clustered capability (Fig 1 left).
+		{Name: "iPhone-13", Platform: IOS, MatmulGFLOPS: 1.20, GatherGFLOPS: 0.80, PrepMicros: 14, Cores: 6, RAMMB: 4096, ModernOSProb: 1.00, Share: 0.070},
+		{Name: "iPhone-12", Platform: IOS, MatmulGFLOPS: 1.00, GatherGFLOPS: 0.70, PrepMicros: 16, Cores: 6, RAMMB: 4096, ModernOSProb: 1.00, Share: 0.075},
+		{Name: "iPhone-11", Platform: IOS, MatmulGFLOPS: 0.80, GatherGFLOPS: 0.60, PrepMicros: 18, Cores: 6, RAMMB: 4096, ModernOSProb: 0.99, Share: 0.080},
+		{Name: "iPhone-SE2", Platform: IOS, MatmulGFLOPS: 0.78, GatherGFLOPS: 0.55, PrepMicros: 19, Cores: 6, RAMMB: 3072, ModernOSProb: 0.99, Share: 0.035},
+		{Name: "iPhone-X", Platform: IOS, MatmulGFLOPS: 0.55, GatherGFLOPS: 0.42, PrepMicros: 24, Cores: 6, RAMMB: 3072, ModernOSProb: 0.95, Share: 0.030},
+		{Name: "iPhone-8", Platform: IOS, MatmulGFLOPS: 0.45, GatherGFLOPS: 0.35, PrepMicros: 28, Cores: 6, RAMMB: 2048, ModernOSProb: 0.90, Share: 0.025},
+		{Name: "iPad-Air3", Platform: IOS, MatmulGFLOPS: 0.85, GatherGFLOPS: 0.62, PrepMicros: 17, Cores: 6, RAMMB: 3072, ModernOSProb: 0.99, Share: 0.015},
+		{Name: "iPad-9", Platform: IOS, MatmulGFLOPS: 0.90, GatherGFLOPS: 0.65, PrepMicros: 16, Cores: 6, RAMMB: 3072, ModernOSProb: 1.00, Share: 0.015},
+		// Android: wide capability spread and a long model tail (Fig 1 right).
+		{Name: "Galaxy-S21", Platform: Android, MatmulGFLOPS: 1.05, GatherGFLOPS: 0.60, PrepMicros: 17, Cores: 8, RAMMB: 8192, ModernOSProb: 1.00, Share: 0.032},
+		{Name: "Pixel-6", Platform: Android, MatmulGFLOPS: 1.00, GatherGFLOPS: 0.65, PrepMicros: 17, Cores: 8, RAMMB: 8192, ModernOSProb: 1.00, Share: 0.018},
+		// OnePlus-9 and Pixel-5 encode the compute-vs-storage trade-off of
+		// Fig 4: fast SIMD with slow feature prep versus the reverse, so
+		// task orderings invert between matmul- and prep-bound models.
+		{Name: "OnePlus-9", Platform: Android, MatmulGFLOPS: 0.95, GatherGFLOPS: 0.50, PrepMicros: 26, Cores: 8, RAMMB: 8192, ModernOSProb: 1.00, Share: 0.014},
+		{Name: "Galaxy-S10", Platform: Android, MatmulGFLOPS: 0.60, GatherGFLOPS: 0.40, PrepMicros: 22, Cores: 8, RAMMB: 6144, ModernOSProb: 0.97, Share: 0.026},
+		{Name: "Note-10", Platform: Android, MatmulGFLOPS: 0.62, GatherGFLOPS: 0.42, PrepMicros: 22, Cores: 8, RAMMB: 8192, ModernOSProb: 0.97, Share: 0.020},
+		{Name: "Pixel-5", Platform: Android, MatmulGFLOPS: 0.40, GatherGFLOPS: 0.45, PrepMicros: 17, Cores: 8, RAMMB: 8192, ModernOSProb: 1.00, Share: 0.012},
+		{Name: "Pixel-4", Platform: Android, MatmulGFLOPS: 0.50, GatherGFLOPS: 0.38, PrepMicros: 24, Cores: 8, RAMMB: 6144, ModernOSProb: 0.98, Share: 0.012},
+		{Name: "Huawei-P30", Platform: Android, MatmulGFLOPS: 0.52, GatherGFLOPS: 0.36, PrepMicros: 24, Cores: 8, RAMMB: 6144, ModernOSProb: 0.92, Share: 0.020},
+		{Name: "Galaxy-S8", Platform: Android, MatmulGFLOPS: 0.35, GatherGFLOPS: 0.26, PrepMicros: 30, Cores: 8, RAMMB: 4096, ModernOSProb: 0.85, Share: 0.018},
+		{Name: "OnePlus-7", Platform: Android, MatmulGFLOPS: 0.58, GatherGFLOPS: 0.40, PrepMicros: 22, Cores: 8, RAMMB: 6144, ModernOSProb: 0.97, Share: 0.012},
+		{Name: "Galaxy-A51", Platform: Android, MatmulGFLOPS: 0.28, GatherGFLOPS: 0.22, PrepMicros: 34, Cores: 8, RAMMB: 4096, ModernOSProb: 0.98, Share: 0.030},
+		{Name: "Galaxy-A12", Platform: Android, MatmulGFLOPS: 0.14, GatherGFLOPS: 0.12, PrepMicros: 48, Cores: 8, RAMMB: 3072, ModernOSProb: 0.99, Share: 0.034},
+		{Name: "Redmi-Note9", Platform: Android, MatmulGFLOPS: 0.24, GatherGFLOPS: 0.19, PrepMicros: 36, Cores: 8, RAMMB: 4096, ModernOSProb: 0.99, Share: 0.030},
+		{Name: "Redmi-Note8", Platform: Android, MatmulGFLOPS: 0.20, GatherGFLOPS: 0.16, PrepMicros: 40, Cores: 8, RAMMB: 4096, ModernOSProb: 0.95, Share: 0.028},
+		{Name: "Moto-G9Power", Platform: Android, MatmulGFLOPS: 0.18, GatherGFLOPS: 0.15, PrepMicros: 42, Cores: 8, RAMMB: 4096, ModernOSProb: 0.99, Share: 0.014},
+		{Name: "Moto-G7", Platform: Android, MatmulGFLOPS: 0.12, GatherGFLOPS: 0.10, PrepMicros: 52, Cores: 8, RAMMB: 3072, ModernOSProb: 0.80, Share: 0.012},
+		{Name: "Oppo-A5", Platform: Android, MatmulGFLOPS: 0.11, GatherGFLOPS: 0.09, PrepMicros: 55, Cores: 8, RAMMB: 3072, ModernOSProb: 0.85, Share: 0.022},
+		{Name: "Galaxy-J7", Platform: Android, MatmulGFLOPS: 0.08, GatherGFLOPS: 0.07, PrepMicros: 64, Cores: 8, RAMMB: 2048, ModernOSProb: 0.45, Share: 0.014},
+		{Name: "Galaxy-Tab-A8", Platform: Android, MatmulGFLOPS: 0.22, GatherGFLOPS: 0.18, PrepMicros: 38, Cores: 8, RAMMB: 3072, ModernOSProb: 0.97, Share: 0.010},
+	}
+}
+
+// ByName indexes a profile list by device name.
+func ByName(pool []Profile) map[string]Profile {
+	out := make(map[string]Profile, len(pool))
+	for _, p := range pool {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// PopulationModel samples the full installed base for Fig 1: the bench pool
+// devices carry explicit shares, and the remainder of the base spreads over
+// a long Zipf tail of minor models — ~8,000 device types in the paper.
+type PopulationModel struct {
+	Pool []Profile
+	// TailModels is the number of distinct long-tail device models beyond
+	// the pool (Android-heavy, per Fig 1's "gray region").
+	TailModels int
+	// TailIOSFrac is the fraction of tail models that are iOS (small:
+	// Apple's lineup is narrow).
+	TailIOSFrac float64
+	Seed        int64
+}
+
+// DefaultPopulation reflects Fig 1's shape: iOS concentrated over few
+// models (Apple's lineup is narrow), Android spread over thousands.
+func DefaultPopulation() PopulationModel {
+	return PopulationModel{Pool: BenchPool(), TailModels: 2600, TailIOSFrac: 0.004, Seed: 1}
+}
+
+// SampledDevice is one user device draw.
+type SampledDevice struct {
+	Model    string
+	Platform Platform
+	// Profile is the matching bench profile; tail devices borrow the
+	// nearest low-end profile for capability purposes.
+	Profile Profile
+}
+
+// Sample draws n user devices: with probability equal to the pool's total
+// share a pool device is returned, otherwise a Zipf-tail minor model.
+func (pm PopulationModel) Sample(n int) ([]SampledDevice, error) {
+	if len(pm.Pool) == 0 {
+		return nil, fmt.Errorf("device: population needs a non-empty pool")
+	}
+	if pm.TailModels <= 0 {
+		return nil, fmt.Errorf("device: population needs tail models, got %d", pm.TailModels)
+	}
+	rng := rand.New(rand.NewSource(pm.Seed))
+	var poolShare float64
+	cum := make([]float64, len(pm.Pool))
+	for i, p := range pm.Pool {
+		poolShare += p.Share
+		cum[i] = poolShare
+	}
+	if poolShare > 1 {
+		return nil, fmt.Errorf("device: pool shares sum to %v > 1", poolShare)
+	}
+	zipf := rand.NewZipf(rng, 1.3, 2, uint64(pm.TailModels-1))
+	lowEnd := pm.Pool[len(pm.Pool)-1]
+	out := make([]SampledDevice, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		if u < poolShare {
+			idx := sort.SearchFloat64s(cum, u)
+			p := pm.Pool[idx]
+			out[i] = SampledDevice{Model: p.Name, Platform: p.Platform, Profile: p}
+			continue
+		}
+		t := int(zipf.Uint64())
+		platform := Android
+		if rng.Float64() < pm.TailIOSFrac {
+			platform = IOS
+		}
+		out[i] = SampledDevice{
+			Model:    fmt.Sprintf("%s-tail-%04d", platform, t),
+			Platform: platform,
+			Profile:  lowEnd,
+		}
+	}
+	return out, nil
+}
+
+// DistributionStats summarizes a sampled population for Fig 1.
+type DistributionStats struct {
+	Platform       Platform
+	Devices        int
+	DistinctModels int
+	TopShares      []float64 // cumulative share of top-1..top-k models
+	GrayShare      float64   // share outside the top-k legend
+}
+
+// Distribution computes Fig 1's per-platform concentration: top-k model
+// shares and the "gray region" beyond the legend.
+func Distribution(devs []SampledDevice, platform Platform, k int) DistributionStats {
+	counts := make(map[string]int)
+	total := 0
+	for _, d := range devs {
+		if d.Platform != platform {
+			continue
+		}
+		counts[d.Model]++
+		total++
+	}
+	st := DistributionStats{Platform: platform, Devices: total, DistinctModels: len(counts)}
+	if total == 0 {
+		return st
+	}
+	shares := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		shares = append(shares, float64(c)/float64(total))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(shares)))
+	cum := 0.0
+	for i := 0; i < k && i < len(shares); i++ {
+		cum += shares[i]
+		st.TopShares = append(st.TopShares, cum)
+	}
+	st.GrayShare = 1 - cum
+	if st.GrayShare < 0 {
+		st.GrayShare = 0
+	}
+	return st
+}

@@ -1,0 +1,154 @@
+package featurestore
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// CacheStats counts device cache effectiveness; reuse across tasks is the
+// §3.3 win ("when a feature value is created for one task, the runtime can
+// cache it for reuse to reduce latency").
+type CacheStats struct {
+	Hits, Misses, Evictions, Expirations int
+}
+
+// HitRate returns hits/(hits+misses), 0 when untouched.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is one cached feature value.
+type entry struct {
+	key      string
+	size     int
+	expireAt float64 // virtual time; +Inf when no TTL
+	value    []byte
+}
+
+// DeviceCache is a byte-budgeted LRU with per-entry TTLs, keyed by virtual
+// time (the simulator's clock), modeling the on-device feature/vocab cache.
+type DeviceCache struct {
+	budget int
+	used   int
+	ll     *list.List // front = most recent
+	items  map[string]*list.Element
+	stats  CacheStats
+}
+
+// NewDeviceCache creates a cache holding at most budget bytes.
+func NewDeviceCache(budget int) (*DeviceCache, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("featurestore: cache budget must be positive, got %d", budget)
+	}
+	return &DeviceCache{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}, nil
+}
+
+// Put inserts a value with a TTL (ttlSec <= 0 means no expiry), evicting
+// LRU entries to fit. Values larger than the whole budget are rejected.
+func (c *DeviceCache) Put(key string, value []byte, now, ttlSec float64) error {
+	if len(value) > c.budget {
+		return fmt.Errorf("featurestore: value %s (%d B) exceeds cache budget %d", key, len(value), c.budget)
+	}
+	if el, ok := c.items[key]; ok {
+		c.removeElement(el, false)
+	}
+	expire := inf
+	if ttlSec > 0 {
+		expire = now + ttlSec
+	}
+	for c.used+len(value) > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeElement(back, true)
+	}
+	e := &entry{key: key, size: len(value), expireAt: expire, value: value}
+	c.items[key] = c.ll.PushFront(e)
+	c.used += e.size
+	return nil
+}
+
+// Get returns the cached value when present and unexpired at `now`.
+func (c *DeviceCache) Get(key string, now float64) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.expireAt <= now {
+		c.removeElement(el, false)
+		c.stats.Expirations++
+		c.stats.Misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return e.value, true
+}
+
+// UsedBytes returns current occupancy.
+func (c *DeviceCache) UsedBytes() int { return c.used }
+
+// Len returns the entry count.
+func (c *DeviceCache) Len() int { return c.ll.Len() }
+
+// Stats returns a copy of the counters.
+func (c *DeviceCache) Stats() CacheStats { return c.stats }
+
+func (c *DeviceCache) removeElement(el *list.Element, evicted bool) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.size
+	if evicted {
+		c.stats.Evictions++
+	}
+}
+
+var inf = 1e308
+
+// FetchPlan decides where a training/inference record's features come from
+// and what the access costs: the §3.3 trade-off between pulling cloud
+// features on demand and caching them on the device.
+type FetchPlan struct {
+	DeviceFeatures []string
+	CloudHits      []string // served from the device cache
+	CloudPulls     []string // fetched over the network
+	PullBytes      int
+}
+
+// PlanFetch consults the catalog and cache for the named features at the
+// given virtual time, inserting pulled cacheable values with the feature's
+// retention as TTL.
+func PlanFetch(cat *Catalog, cache *DeviceCache, features []string, now float64) (FetchPlan, error) {
+	var plan FetchPlan
+	for _, name := range features {
+		spec, err := cat.Get(name)
+		if err != nil {
+			return FetchPlan{}, err
+		}
+		if spec.Locality == DeviceLocal {
+			plan.DeviceFeatures = append(plan.DeviceFeatures, name)
+			continue
+		}
+		if cache != nil && spec.Cacheable {
+			if _, ok := cache.Get(name, now); ok {
+				plan.CloudHits = append(plan.CloudHits, name)
+				continue
+			}
+		}
+		plan.CloudPulls = append(plan.CloudPulls, name)
+		plan.PullBytes += spec.SizeBytes
+		if cache != nil && spec.Cacheable {
+			// Best effort: oversized values simply aren't cached.
+			_ = cache.Put(name, make([]byte, spec.SizeBytes), now, spec.RetentionSec)
+		}
+	}
+	return plan, nil
+}

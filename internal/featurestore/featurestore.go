@@ -1,0 +1,143 @@
+// Package featurestore implements the device-cloud feature catalog of the
+// paper (§3.3 "Data Locality", Fig 6): cloud-managed metadata for
+// device-side features (retention policies, size limits), caching of
+// cloud-side features and vocabulary files on the device, transform
+// placement, and cross-application reuse of computed feature values.
+package featurestore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Locality says where a feature's source of truth lives.
+type Locality string
+
+// Feature localities.
+const (
+	DeviceLocal Locality = "device" // generated and kept on device
+	CloudPulled Locality = "cloud"  // pulled on demand, cacheable on device
+)
+
+// Placement says where the feature transformation runs.
+type Placement string
+
+// Transform placements.
+const (
+	TransformOnDevice Placement = "device"
+	TransformInCloud  Placement = "cloud"
+)
+
+// FeatureSpec is catalog metadata for one feature.
+type FeatureSpec struct {
+	Name      string
+	Locality  Locality
+	Transform Placement
+	// SizeBytes is the serialized value size (embeddings are large, ids
+	// are small) — drives cache budgeting.
+	SizeBytes int
+	// RetentionSec is the device-side retention policy; 0 = session-only.
+	RetentionSec float64
+	// Cacheable marks cloud features that may be cached on device
+	// ("inference records containing smaller cloud-based features can be
+	// cached on the device").
+	Cacheable bool
+}
+
+// Validate reports spec errors.
+func (f FeatureSpec) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("featurestore: feature needs a name")
+	}
+	switch f.Locality {
+	case DeviceLocal, CloudPulled:
+	default:
+		return fmt.Errorf("featurestore: feature %s has unknown locality %q", f.Name, f.Locality)
+	}
+	switch f.Transform {
+	case TransformOnDevice, TransformInCloud:
+	default:
+		return fmt.Errorf("featurestore: feature %s has unknown placement %q", f.Name, f.Transform)
+	}
+	if f.SizeBytes < 0 || f.RetentionSec < 0 {
+		return fmt.Errorf("featurestore: feature %s has negative size/retention", f.Name)
+	}
+	return nil
+}
+
+// Catalog is the cloud-side registry of feature specs.
+type Catalog struct {
+	mu    sync.RWMutex
+	specs map[string]FeatureSpec
+	// DeviceBudgetBytes caps the total device-side feature footprint the
+	// catalog admits ("device-based features' retention policies and data
+	// size limits through cloud-based metadata").
+	DeviceBudgetBytes int
+}
+
+// NewCatalog creates a catalog with a device storage budget.
+func NewCatalog(deviceBudgetBytes int) *Catalog {
+	return &Catalog{specs: make(map[string]FeatureSpec), DeviceBudgetBytes: deviceBudgetBytes}
+}
+
+// Register adds or replaces a feature spec, enforcing the device budget
+// over device-local features.
+func (c *Catalog) Register(spec FeatureSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for name, s := range c.specs {
+		if name == spec.Name {
+			continue
+		}
+		if s.Locality == DeviceLocal {
+			total += s.SizeBytes
+		}
+	}
+	if spec.Locality == DeviceLocal && c.DeviceBudgetBytes > 0 && total+spec.SizeBytes > c.DeviceBudgetBytes {
+		return fmt.Errorf("featurestore: feature %s (%d B) exceeds device budget (%d of %d B used)",
+			spec.Name, spec.SizeBytes, total, c.DeviceBudgetBytes)
+	}
+	c.specs[spec.Name] = spec
+	return nil
+}
+
+// Get returns a spec by name.
+func (c *Catalog) Get(name string) (FeatureSpec, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.specs[name]
+	if !ok {
+		return FeatureSpec{}, fmt.Errorf("featurestore: feature %s not registered", name)
+	}
+	return s, nil
+}
+
+// Names lists registered features sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.specs))
+	for n := range c.specs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeviceFootprintBytes sums registered device-local feature sizes.
+func (c *Catalog) DeviceFootprintBytes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, s := range c.specs {
+		if s.Locality == DeviceLocal {
+			total += s.SizeBytes
+		}
+	}
+	return total
+}

@@ -1,0 +1,204 @@
+package featurestore
+
+import (
+	"fmt"
+	"testing"
+
+	"flint/internal/data"
+)
+
+func spec(name string, loc Locality, size int) FeatureSpec {
+	return FeatureSpec{Name: name, Locality: loc, Transform: TransformOnDevice, SizeBytes: size, Cacheable: loc == CloudPulled}
+}
+
+func TestCatalogRegisterAndBudget(t *testing.T) {
+	c := NewCatalog(1000)
+	if err := c.Register(spec("clicks", DeviceLocal, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(spec("embeds", CloudPulled, 100000)); err != nil {
+		t.Fatal(err) // cloud features don't count against the device budget
+	}
+	if err := c.Register(spec("history", DeviceLocal, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(spec("huge", DeviceLocal, 200)); err == nil {
+		t.Fatal("budget exceeded must fail")
+	}
+	if got := c.DeviceFootprintBytes(); got != 900 {
+		t.Fatalf("footprint %d", got)
+	}
+	if len(c.Names()) != 3 {
+		t.Fatalf("names: %v", c.Names())
+	}
+	// Replacing an existing feature re-counts, not double-counts.
+	if err := c.Register(spec("history", DeviceLocal, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DeviceFootprintBytes(); got != 1000 {
+		t.Fatalf("footprint after replace %d", got)
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	c := NewCatalog(0)
+	bad := []FeatureSpec{
+		{},
+		{Name: "x", Locality: "mars", Transform: TransformOnDevice},
+		{Name: "x", Locality: DeviceLocal, Transform: "nowhere"},
+		{Name: "x", Locality: DeviceLocal, Transform: TransformOnDevice, SizeBytes: -1},
+	}
+	for i, s := range bad {
+		if err := c.Register(s); err == nil {
+			t.Fatalf("spec %d must fail", i)
+		}
+	}
+	if _, err := c.Get("missing"); err == nil {
+		t.Fatal("missing feature must fail")
+	}
+}
+
+func TestDeviceCacheLRU(t *testing.T) {
+	c, err := NewDeviceCache(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", make([]byte, 40), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("b", make([]byte, 40), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b becomes LRU.
+	if _, ok := c.Get("a", 2); !ok {
+		t.Fatal("a must hit")
+	}
+	// c displaces b (LRU), not a.
+	if err := c.Put("c", make([]byte, 40), 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("b", 4); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a", 4); !ok {
+		t.Fatal("a should survive")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions %d", st.Evictions)
+	}
+	if c.UsedBytes() > 100 {
+		t.Fatalf("over budget: %d", c.UsedBytes())
+	}
+}
+
+func TestDeviceCacheTTL(t *testing.T) {
+	c, _ := NewDeviceCache(100)
+	c.Put("v", make([]byte, 10), 0, 50)
+	if _, ok := c.Get("v", 49); !ok {
+		t.Fatal("should hit before expiry")
+	}
+	if _, ok := c.Get("v", 51); ok {
+		t.Fatal("should expire after TTL")
+	}
+	if c.Stats().Expirations != 1 {
+		t.Fatalf("expirations %d", c.Stats().Expirations)
+	}
+}
+
+func TestDeviceCacheErrors(t *testing.T) {
+	if _, err := NewDeviceCache(0); err == nil {
+		t.Fatal("zero budget must fail")
+	}
+	c, _ := NewDeviceCache(10)
+	if err := c.Put("big", make([]byte, 20), 0, 0); err == nil {
+		t.Fatal("oversized value must fail")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c, _ := NewDeviceCache(100)
+	c.Put("x", make([]byte, 1), 0, 0)
+	c.Get("x", 1)
+	c.Get("y", 1)
+	if got := c.Stats().HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v", got)
+	}
+	var empty CacheStats
+	if empty.HitRate() != 0 {
+		t.Fatal("empty hit rate")
+	}
+}
+
+func TestPlanFetchCachesCloudFeatures(t *testing.T) {
+	cat := NewCatalog(0)
+	if err := cat.Register(spec("device_ctx", DeviceLocal, 100)); err != nil {
+		t.Fatal(err)
+	}
+	cloud := spec("member_embed", CloudPulled, 2000)
+	cloud.RetentionSec = 3600
+	if err := cat.Register(cloud); err != nil {
+		t.Fatal(err)
+	}
+	cache, _ := NewDeviceCache(10000)
+
+	plan1, err := PlanFetch(cat, cache, []string{"device_ctx", "member_embed"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan1.CloudPulls) != 1 || plan1.PullBytes != 2000 {
+		t.Fatalf("first fetch should pull: %+v", plan1)
+	}
+	// Second task reuses the cached value — the §3.3 reuse win.
+	plan2, err := PlanFetch(cat, cache, []string{"member_embed"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan2.CloudHits) != 1 || plan2.PullBytes != 0 {
+		t.Fatalf("second fetch should hit cache: %+v", plan2)
+	}
+	// After retention expires, it pulls again.
+	plan3, _ := PlanFetch(cat, cache, []string{"member_embed"}, 4000)
+	if len(plan3.CloudPulls) != 1 {
+		t.Fatalf("expired fetch should pull: %+v", plan3)
+	}
+	if _, err := PlanFetch(cat, cache, []string{"ghost"}, 0); err == nil {
+		t.Fatal("unknown feature must fail")
+	}
+}
+
+func TestPlanVocabTradeoff(t *testing.T) {
+	words := make([]string, 5000)
+	for i := range words {
+		words[i] = fmt.Sprintf("feature_value_%d", i)
+	}
+	v := data.NewVocabulary(words)
+	asset := BuildAsset("title", v)
+	if asset.Cardinality != 5000 || asset.SizeBytes <= 0 {
+		t.Fatalf("asset: %+v", asset)
+	}
+	plan, err := PlanVocab([]VocabAsset{asset}, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.VocabBytes != asset.SizeBytes {
+		t.Fatal("vocab bytes mismatch")
+	}
+	if plan.SavedBytes != plan.VocabBytes {
+		t.Fatal("hashing should save the full asset size")
+	}
+	if plan.CollisionRate <= 0.5 {
+		t.Fatalf("5000 values into 1024 buckets must collide heavily, got %v", plan.CollisionRate)
+	}
+	// A huge hash dim nearly eliminates collisions.
+	plan2, _ := PlanVocab([]VocabAsset{asset}, 1<<22)
+	if plan2.CollisionRate > 0.01 {
+		t.Fatalf("big dim collision rate %v", plan2.CollisionRate)
+	}
+	if _, err := PlanVocab(nil, 0); err == nil {
+		t.Fatal("bad hash dim must fail")
+	}
+	if _, err := PlanVocab([]VocabAsset{{Feature: "x", SizeBytes: -1}}, 10); err == nil {
+		t.Fatal("negative asset must fail")
+	}
+}

@@ -1,0 +1,54 @@
+package featurestore
+
+import (
+	"fmt"
+
+	"flint/internal/data"
+)
+
+// VocabAsset describes one vocabulary file the device must hold to encode
+// a categorical feature (§4.1: vocab files "could be as big as 1.28 MB for
+// high-cardinality variables").
+type VocabAsset struct {
+	Feature     string
+	Cardinality int
+	SizeBytes   int
+}
+
+// VocabPlanning compares the two §4.1 encoding strategies for a feature
+// set: shipping vocabulary files versus feature hashing, which trades
+// storage for hash collisions ("trading less storage space with lower
+// predictive power").
+type VocabPlanning struct {
+	VocabBytes    int
+	HashDim       int
+	HashBytes     int     // hashing needs no asset, only the fixed dim
+	CollisionRate float64 // expected collision fraction at HashDim
+	SavedBytes    int
+}
+
+// PlanVocab sizes both strategies for the given assets and hash dimension.
+func PlanVocab(assets []VocabAsset, hashDim int) (VocabPlanning, error) {
+	if hashDim <= 0 {
+		return VocabPlanning{}, fmt.Errorf("featurestore: hash dim must be positive, got %d", hashDim)
+	}
+	var p VocabPlanning
+	p.HashDim = hashDim
+	total := 0
+	for _, a := range assets {
+		if a.SizeBytes < 0 || a.Cardinality < 0 {
+			return VocabPlanning{}, fmt.Errorf("featurestore: asset %s has negative size/cardinality", a.Feature)
+		}
+		p.VocabBytes += a.SizeBytes
+		total += a.Cardinality
+	}
+	p.CollisionRate = data.CollisionRate(total, hashDim)
+	p.HashBytes = 0 // the hash function is code, not an asset
+	p.SavedBytes = p.VocabBytes - p.HashBytes
+	return p, nil
+}
+
+// BuildAsset derives a VocabAsset from an actual vocabulary.
+func BuildAsset(feature string, v *data.Vocabulary) VocabAsset {
+	return VocabAsset{Feature: feature, Cardinality: v.Size() - 1, SizeBytes: v.SizeBytes()}
+}

@@ -1,0 +1,120 @@
+package fedsim
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flint/internal/tensor"
+)
+
+// Checkpoint is the leader's persisted state: "the leader frequently
+// checkpoints the virtual time and recent model weights to the pipeline
+// storage, [so] any restarted leader and executor can resume from the
+// checkpoints without losing more than one round of work" (§3.4).
+// In-flight tasks are not persisted — they are the bounded lost work.
+type Checkpoint struct {
+	Mode    Mode
+	Round   int
+	VTime   float64
+	Params  []float64
+	TaskSeq uint64
+
+	TotalStarted    int
+	TotalComputeSec float64
+	CursorIdx       int
+	CursorOffset    float64
+	LastAggTime     float64
+}
+
+// saveCheckpoint writes the current leader state atomically (tmp + rename).
+func (s *sim) saveCheckpoint() error {
+	ck := Checkpoint{
+		Mode:            s.cfg.Mode,
+		Round:           s.round,
+		VTime:           s.clock.Now(),
+		Params:          s.global,
+		TaskSeq:         s.taskSeq,
+		TotalStarted:    s.report.TotalStarted,
+		TotalComputeSec: s.report.TotalComputeSec,
+		CursorIdx:       s.cursor.idx,
+		CursorOffset:    s.cursor.offset,
+		LastAggTime:     s.lastAggTime,
+	}
+	dir := filepath.Dir(s.cfg.CheckpointPath)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fedsim: checkpoint dir: %w", err)
+	}
+	tmp := s.cfg.CheckpointPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fedsim: checkpoint create: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(ck); err != nil {
+		f.Close()
+		return fmt.Errorf("fedsim: checkpoint encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fedsim: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, s.cfg.CheckpointPath); err != nil {
+		return fmt.Errorf("fedsim: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by a prior run.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fedsim: checkpoint open: %w", err)
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("fedsim: checkpoint decode: %w", err)
+	}
+	return &ck, nil
+}
+
+// Resume continues a job from a checkpoint: the model, virtual clock, round
+// counter and trace cursor are restored; the ready pool and in-flight tasks
+// are rebuilt from the trace going forward (at most one round of work lost).
+func Resume(cfg Config, env *Environment, ck *Checkpoint) (*Report, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("fedsim: resume with nil checkpoint")
+	}
+	if ck.Mode != cfg.Mode {
+		return nil, fmt.Errorf("fedsim: checkpoint mode %q != config mode %q", ck.Mode, cfg.Mode)
+	}
+	s, err := newSim(cfg, env)
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.close()
+	if len(ck.Params) != len(s.global) {
+		return nil, fmt.Errorf("fedsim: checkpoint has %d params, model needs %d", len(ck.Params), len(s.global))
+	}
+	copy(s.global, tensor.Vector(ck.Params))
+	s.round = ck.Round
+	s.taskSeq = ck.TaskSeq
+	s.clock.Reset(ck.VTime)
+	s.lastAggTime = ck.LastAggTime
+	s.report.TotalStarted = ck.TotalStarted
+	s.report.TotalComputeSec = ck.TotalComputeSec
+	s.cursor.idx = ck.CursorIdx
+	s.cursor.offset = ck.CursorOffset
+	s.pushNextWindow()
+	switch cfg.Mode {
+	case Async:
+		err = s.runAsync()
+	case Sync:
+		err = s.runSync()
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.finalize()
+	return s.report, nil
+}

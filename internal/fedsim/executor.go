@@ -1,0 +1,138 @@
+package fedsim
+
+import (
+	"fmt"
+	"sync"
+
+	"flint/internal/data"
+	"flint/internal/model"
+	"flint/internal/tensor"
+)
+
+// trainJob is one client-task training request dispatched by the leader to
+// the executor pool.
+type trainJob struct {
+	clientID int64
+	base     tensor.Vector // global snapshot at dispatch (shared, read-only)
+	examples []*data.Example
+	local    model.LocalConfig
+	seed     int64
+	taskSeq  uint64
+}
+
+// trainResult is the executor's reply: the parameter delta and metadata.
+type trainResult struct {
+	clientID int64
+	delta    tensor.Vector
+	weight   float64
+	loss     float64
+	err      error
+}
+
+// executorPool is the in-process realization of §3.4's "group of executors
+// [that] poll tasks to run from a leader node". Each worker owns one model
+// replica; jobs carry parameter snapshots and shards, results carry deltas.
+type executorPool struct {
+	jobs    chan jobEnvelope
+	wg      sync.WaitGroup
+	workers int
+}
+
+type jobEnvelope struct {
+	job trainJob
+	out chan trainResult
+}
+
+// newExecutorPool starts n workers training kind-shaped models.
+func newExecutorPool(n int, kind model.Kind) (*executorPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fedsim: executor pool needs n > 0, got %d", n)
+	}
+	p := &executorPool{jobs: make(chan jobEnvelope, 4*n), workers: n}
+	for i := 0; i < n; i++ {
+		replica, err := model.New(kind, 0)
+		if err != nil {
+			return nil, err
+		}
+		p.wg.Add(1)
+		go p.worker(replica)
+	}
+	return p, nil
+}
+
+func (p *executorPool) worker(replica model.Model) {
+	defer p.wg.Done()
+	for env := range p.jobs {
+		env.out <- runJob(replica, env.job)
+	}
+}
+
+// runJob trains the replica from the job's base snapshot and returns the
+// delta. It is deterministic given the job contents.
+func runJob(replica model.Model, job trainJob) trainResult {
+	if len(job.examples) == 0 {
+		return trainResult{clientID: job.clientID, err: fmt.Errorf("fedsim: client %d has no examples", job.clientID)}
+	}
+	if err := replica.SetParams(job.base); err != nil {
+		return trainResult{clientID: job.clientID, err: err}
+	}
+	rng := taskRNG(job.seed, job.taskSeq)
+	loss, err := model.TrainLocal(replica, job.examples, job.local, rng)
+	if err != nil {
+		return trainResult{clientID: job.clientID, err: err}
+	}
+	delta := replica.Params().Clone()
+	delta.Sub(job.base)
+	return trainResult{
+		clientID: job.clientID,
+		delta:    delta,
+		weight:   float64(len(job.examples)),
+		loss:     loss,
+	}
+}
+
+// submit enqueues a job and returns the future carrying its result.
+func (p *executorPool) submit(job trainJob) chan trainResult {
+	out := make(chan trainResult, 1)
+	p.jobs <- jobEnvelope{job: job, out: out}
+	return out
+}
+
+// close drains the pool.
+func (p *executorPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// snapshotStore refcounts parameter snapshots per aggregation round so
+// concurrent async tasks dispatched between aggregations share one copy.
+type snapshotStore struct {
+	snaps map[int]tensor.Vector
+	refs  map[int]int
+}
+
+func newSnapshotStore() *snapshotStore {
+	return &snapshotStore{snaps: make(map[int]tensor.Vector), refs: make(map[int]int)}
+}
+
+// acquire returns the snapshot for the given round, copying global on first
+// use, and bumps the refcount.
+func (s *snapshotStore) acquire(round int, global tensor.Vector) tensor.Vector {
+	if _, ok := s.snaps[round]; !ok {
+		s.snaps[round] = global.Clone()
+	}
+	s.refs[round]++
+	return s.snaps[round]
+}
+
+// release drops one reference; the snapshot is freed when unreferenced.
+func (s *snapshotStore) release(round int) {
+	s.refs[round]--
+	if s.refs[round] <= 0 {
+		delete(s.refs, round)
+		delete(s.snaps, round)
+	}
+}
+
+// live returns the number of retained snapshots (bounded by staleness).
+func (s *snapshotStore) live() int { return len(s.snaps) }

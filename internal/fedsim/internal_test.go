@@ -1,0 +1,240 @@
+package fedsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"flint/internal/availability"
+	"flint/internal/data"
+	"flint/internal/model"
+	"flint/internal/network"
+	"flint/internal/tensor"
+)
+
+func TestSnapshotStoreRefcounting(t *testing.T) {
+	s := newSnapshotStore()
+	global := tensor.Vector{1, 2, 3}
+	a := s.acquire(0, global)
+	b := s.acquire(0, global)
+	if &a[0] != &b[0] {
+		t.Fatal("same-round acquisitions must share one snapshot")
+	}
+	// Mutating global must not affect the snapshot.
+	global[0] = 99
+	if a[0] != 1 {
+		t.Fatal("snapshot must be an independent copy")
+	}
+	if s.live() != 1 {
+		t.Fatalf("live %d", s.live())
+	}
+	s.release(0)
+	if s.live() != 1 {
+		t.Fatal("snapshot freed too early")
+	}
+	s.release(0)
+	if s.live() != 0 {
+		t.Fatal("snapshot leaked")
+	}
+	// Separate rounds hold separate snapshots.
+	s.acquire(1, global)
+	s.acquire(2, global)
+	if s.live() != 2 {
+		t.Fatalf("live %d, want 2", s.live())
+	}
+}
+
+func TestWindowCursorWrapsPeriodically(t *testing.T) {
+	sessions := []availability.Session{
+		{ClientID: 1, Start: 10, End: 20},
+		{ClientID: 2, Start: 30, End: 50},
+	}
+	trace := availability.BuildTrace(sessions)
+	c := newWindowCursor(trace)
+	// First period.
+	w1, ok := c.next()
+	if !ok || w1.Start != 10 {
+		t.Fatalf("w1: %+v", w1)
+	}
+	w2, _ := c.next()
+	if w2.Start != 30 {
+		t.Fatalf("w2: %+v", w2)
+	}
+	// Wrap: horizon is 50, so the next window repeats at +50.
+	w3, ok := c.next()
+	if !ok || w3.Start != 60 || w3.ClientID != 1 {
+		t.Fatalf("w3 must wrap with offset: %+v", w3)
+	}
+	w4, _ := c.next()
+	if w4.Start != 80 {
+		t.Fatalf("w4: %+v", w4)
+	}
+	// Monotone non-decreasing forever.
+	prev := w4.Start
+	for i := 0; i < 100; i++ {
+		w, ok := c.next()
+		if !ok {
+			t.Fatal("cursor must not exhaust")
+		}
+		if w.Start < prev {
+			t.Fatal("cursor must be time-ordered")
+		}
+		prev = w.Start
+	}
+}
+
+func TestWindowCursorEmptyTrace(t *testing.T) {
+	c := newWindowCursor(availability.BuildTrace(nil))
+	if _, ok := c.next(); ok {
+		t.Fatal("empty trace must yield nothing")
+	}
+}
+
+func TestTaskDurationFormula(t *testing.T) {
+	// With a deterministic bandwidth (sigma 0, slow frac 0), the duration
+	// decomposes exactly into compute + 2M/N.
+	bw := network.BandwidthModel{MedianMbps: 8, Sigma: 0, SlowFrac: 0, FloorMbps: 0.1}
+	rng := rand.New(rand.NewSource(1))
+	perEx, epochs, shard, update := 0.01, 2, 100, 1_000_000
+	got := taskDuration(perEx, epochs, shard, update, bw, rng)
+	compute := 0.01 * 2 * 100
+	net := float64(2*update) / (8e6 / 8)
+	want := compute + net
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("duration %v, want %v", got, want)
+	}
+}
+
+func TestTaskRNGDecorrelated(t *testing.T) {
+	// Adjacent task sequences must not produce correlated first draws.
+	a := taskRNG(1, 1).Float64()
+	b := taskRNG(1, 2).Float64()
+	c := taskRNG(2, 1).Float64()
+	if a == b || a == c {
+		t.Fatal("task RNG streams must differ")
+	}
+	// And be stable.
+	if a != taskRNG(1, 1).Float64() {
+		t.Fatal("task RNG must be deterministic")
+	}
+}
+
+func TestExecutorPoolRunsJobs(t *testing.T) {
+	pool, err := newExecutorPool(3, model.KindA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.close()
+	base, err := model.New(model.KindA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := model.InputSpecFor(model.KindA)
+	ds, _ := data.Dummy(spec, 16, 1)
+	futures := make([]chan trainResult, 8)
+	for i := range futures {
+		futures[i] = pool.submit(trainJob{
+			clientID: int64(i),
+			base:     base.Params(),
+			examples: ds.Examples,
+			local:    model.LocalConfig{Epochs: 1, BatchSize: 4, LR: 0.1},
+			seed:     1,
+			taskSeq:  uint64(i),
+		})
+	}
+	for i, f := range futures {
+		res := <-f
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if res.clientID != int64(i) {
+			t.Fatalf("result routing broken: %d", res.clientID)
+		}
+		if res.delta.Norm2() == 0 {
+			t.Fatal("training must produce a non-zero delta")
+		}
+		if res.weight != 16 {
+			t.Fatalf("weight %v", res.weight)
+		}
+	}
+}
+
+func TestExecutorPoolValidation(t *testing.T) {
+	if _, err := newExecutorPool(0, model.KindA); err == nil {
+		t.Fatal("zero workers must fail")
+	}
+	if _, err := newExecutorPool(1, model.Kind("zz")); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}
+
+func TestRunJobEmptyShard(t *testing.T) {
+	replica, _ := model.New(model.KindA, 1)
+	res := runJob(replica, trainJob{clientID: 5})
+	if res.err == nil {
+		t.Fatal("empty shard must error")
+	}
+}
+
+func TestJobDeterministicAcrossWorkers(t *testing.T) {
+	// The same job must yield identical deltas regardless of which
+	// replica executes it — the property that makes the parallel executor
+	// pool deterministic.
+	base, _ := model.New(model.KindB, 7)
+	spec, _ := model.InputSpecFor(model.KindB)
+	ds, _ := data.Dummy(spec, 24, 3)
+	job := trainJob{
+		clientID: 1,
+		base:     base.Params(),
+		examples: ds.Examples,
+		local:    model.LocalConfig{Epochs: 2, BatchSize: 8, LR: 0.2},
+		seed:     11,
+		taskSeq:  42,
+	}
+	r1, _ := model.New(model.KindB, 0)
+	r2, _ := model.New(model.KindB, 999) // different init; must not matter
+	a := runJob(r1, job)
+	b := runJob(r2, job)
+	if a.err != nil || b.err != nil {
+		t.Fatal(a.err, b.err)
+	}
+	for i := range a.delta {
+		if a.delta[i] != b.delta[i] {
+			t.Fatal("job result depends on replica state; determinism broken")
+		}
+	}
+}
+
+func TestOutcomeConservation(t *testing.T) {
+	// Invariant: started tasks = classified outcomes + still-in-flight.
+	env := testEnv(t, 120, 31)
+	cfg := asyncConfig(32)
+	cfg.FailureRate = 0.2
+	cfg.LocalEpochs = 3
+	rep, err := Run(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classified := rep.TotalSucceeded + rep.TotalInterrupted + rep.TotalStale +
+		rep.TotalFailed + rep.TotalStragglers
+	if classified > rep.TotalStarted {
+		t.Fatalf("classified %d > started %d", classified, rep.TotalStarted)
+	}
+	inflight := rep.TotalStarted - classified
+	if inflight > cfg.Concurrency {
+		t.Fatalf("%d unaccounted tasks exceed the concurrency cap %d", inflight, cfg.Concurrency)
+	}
+}
+
+func TestProxMuRuns(t *testing.T) {
+	env := testEnv(t, 100, 33)
+	cfg := asyncConfig(34)
+	cfg.MaxRounds = 4
+	cfg.ProxMu = 0.5
+	rep, err := Run(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 4 {
+		t.Fatalf("rounds %d", len(rep.Rounds))
+	}
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics the paper reports for client data
+// quantities (Table 2), device benchmark times (Table 5) and multi-trial
+// model metrics (Table 4, Fig 10).
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64 // population standard deviation
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of sorted xs using linear
+// interpolation between closest ranks. xs must be sorted ascending.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram buckets xs into n equal-width bins over [min,max] and returns
+// the bin edges (n+1 values) and counts (n values). Used to render Fig 2 and
+// Fig 5 series. Degenerate ranges put everything in the first bin.
+func Histogram(xs []float64, n int) (edges []float64, counts []int) {
+	if n <= 0 {
+		n = 1
+	}
+	counts = make([]int, n)
+	edges = make([]float64, n+1)
+	if len(xs) == 0 {
+		return edges, counts
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	width := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	if width == 0 {
+		counts[0] = len(xs)
+		return edges, counts
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}
+
+// MedianOf returns the median of xs without requiring a pre-sorted input.
+func MedianOf(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Quantile(sorted, 0.5)
+}

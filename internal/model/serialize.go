@@ -1,0 +1,43 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"flint/internal/tensor"
+)
+
+// snapshot is the wire format for a serialized model: the kind identifies
+// the architecture (reconstructed via New) and Params carries the weights.
+type snapshot struct {
+	Kind   Kind
+	Params []float64
+}
+
+// Save writes the model's kind and parameters to w in gob format — the
+// model-store checkpoint format shared by centralized and FL training
+// (paper §3.1's shared model store, §3.4's leader checkpointing).
+func Save(m Model, w io.Writer) error {
+	snap := snapshot{Kind: m.Kind(), Params: m.Params()}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("model: save %s: %w", m.Kind(), err)
+	}
+	return nil
+}
+
+// Load reconstructs a model from a Save stream.
+func Load(r io.Reader) (Model, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("model: load: %w", err)
+	}
+	m, err := New(snap.Kind, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetParams(tensor.Vector(snap.Params)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

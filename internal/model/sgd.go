@@ -1,0 +1,163 @@
+package model
+
+import (
+	"flint/internal/tensor"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flint/internal/data"
+)
+
+// Schedule yields the learning rate for a given communication round.
+// Fig 10 of the paper shows how the choice of exponential-decay schedule
+// drives FL training stability.
+type Schedule interface {
+	LR(round int) float64
+	String() string
+}
+
+// ConstantLR is a fixed learning rate.
+type ConstantLR float64
+
+// LR implements Schedule.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+func (c ConstantLR) String() string { return fmt.Sprintf("const(%g)", float64(c)) }
+
+// ExpDecayLR decays the base rate by Rate every DecaySteps rounds:
+// lr(t) = Base · Rate^(t/DecaySteps), optionally floored.
+type ExpDecayLR struct {
+	Base       float64
+	Rate       float64
+	DecaySteps int
+	Floor      float64
+}
+
+// LR implements Schedule.
+func (e ExpDecayLR) LR(round int) float64 {
+	if e.DecaySteps <= 0 {
+		return e.Base
+	}
+	lr := e.Base * math.Pow(e.Rate, float64(round)/float64(e.DecaySteps))
+	if lr < e.Floor {
+		return e.Floor
+	}
+	return lr
+}
+
+func (e ExpDecayLR) String() string {
+	return fmt.Sprintf("exp(base=%g rate=%g steps=%d)", e.Base, e.Rate, e.DecaySteps)
+}
+
+// LocalConfig controls one client's local training pass (the E local epochs
+// of the task-duration model).
+type LocalConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// ProxMu adds FedProx's proximal term μ/2·‖w − w₀‖² to the local
+	// objective (Li et al., 2020), limiting client drift under the data
+	// heterogeneity the proxy datasets encode. Zero disables it.
+	ProxMu float64
+}
+
+// Validate reports configuration errors.
+func (c LocalConfig) Validate() error {
+	if c.Epochs <= 0 {
+		return fmt.Errorf("model: local epochs must be positive, got %d", c.Epochs)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("model: batch size must be positive, got %d", c.BatchSize)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("model: learning rate must be positive, got %g", c.LR)
+	}
+	return nil
+}
+
+// TrainLocal runs mini-batch SGD over the examples for the configured number
+// of epochs, shuffling each epoch with rng, and returns the mean training
+// loss of the final epoch. The model is mutated in place.
+func TrainLocal(m Model, examples []*data.Example, cfg LocalConfig, rng *rand.Rand) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if len(examples) == 0 {
+		return 0, fmt.Errorf("model: TrainLocal with no examples")
+	}
+	if cfg.ProxMu < 0 {
+		return 0, fmt.Errorf("model: ProxMu must be >= 0, got %g", cfg.ProxMu)
+	}
+	var base tensor.Vector
+	if cfg.ProxMu > 0 {
+		base = m.Params().Clone()
+	}
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			m.ZeroGrads()
+			var batchLoss float64
+			for _, idx := range order[start:end] {
+				batchLoss += m.TrainStep(examples[idx])
+			}
+			n := float64(end - start)
+			// Average the accumulated gradient over the batch and step.
+			m.Params().AddScaled(-cfg.LR/n, m.Grads())
+			if cfg.ProxMu > 0 {
+				// Proximal pull toward the round's base model:
+				// w -= lr·μ·(w − w₀).
+				params := m.Params()
+				for i := range params {
+					params[i] -= cfg.LR * cfg.ProxMu * (params[i] - base[i])
+				}
+			}
+			epochLoss += batchLoss
+		}
+		lastLoss = epochLoss / float64(len(order))
+	}
+	m.ZeroGrads()
+	return lastLoss, nil
+}
+
+// CentralizedConfig drives the offline baseline trainer used for Table 4's
+// "centralized counterpart".
+type CentralizedConfig struct {
+	Epochs    int
+	BatchSize int
+	Schedule  Schedule
+	Seed      int64
+}
+
+// TrainCentralized runs the centralized baseline: epochs of mini-batch SGD
+// over the pooled dataset with the round-indexed schedule applied per epoch.
+// Returns the final-epoch mean loss.
+func TrainCentralized(m Model, ds *data.Dataset, cfg CentralizedConfig) (float64, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return 0, fmt.Errorf("model: centralized config needs positive epochs/batch, got %d/%d", cfg.Epochs, cfg.BatchSize)
+	}
+	if cfg.Schedule == nil {
+		return 0, fmt.Errorf("model: centralized config needs a schedule")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var loss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		local := LocalConfig{Epochs: 1, BatchSize: cfg.BatchSize, LR: cfg.Schedule.LR(epoch)}
+		var err error
+		loss, err = TrainLocal(m, ds.Examples, local, rng)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return loss, nil
+}

@@ -1,0 +1,157 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flint/internal/data"
+	"flint/internal/tensor"
+)
+
+func adsBatch(t *testing.T, n int, seed int64) []*data.Example {
+	t.Helper()
+	spec, err := InputSpecFor(KindB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := data.Dummy(spec, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Examples
+}
+
+func TestProxMuPullsTowardBase(t *testing.T) {
+	examples := adsBatch(t, 64, 3)
+	run := func(mu float64) float64 {
+		m, err := New(KindB, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := m.Params().Clone()
+		rng := rand.New(rand.NewSource(1))
+		if _, err := TrainLocal(m, examples, LocalConfig{Epochs: 3, BatchSize: 16, LR: 0.3, ProxMu: mu}, rng); err != nil {
+			t.Fatal(err)
+		}
+		drift := m.Params().Clone()
+		drift.Sub(base)
+		return drift.Norm2()
+	}
+	free := run(0)
+	prox := run(1.0)
+	if prox >= free {
+		t.Fatalf("FedProx must limit drift: mu=1 drift %v >= mu=0 drift %v", prox, free)
+	}
+	if prox == 0 {
+		t.Fatal("proximal training must still move the model")
+	}
+}
+
+func TestProxMuValidation(t *testing.T) {
+	m, _ := New(KindA, 1)
+	rng := rand.New(rand.NewSource(1))
+	spec, _ := InputSpecFor(KindA)
+	ds, _ := data.Dummy(spec, 4, 1)
+	if _, err := TrainLocal(m, ds.Examples, LocalConfig{Epochs: 1, BatchSize: 2, LR: 0.1, ProxMu: -1}, rng); err == nil {
+		t.Fatal("negative mu must fail")
+	}
+}
+
+func TestTrainLocalReducesLoss(t *testing.T) {
+	// Training loss over epochs must drop on a learnable task.
+	g, err := data.NewAdsGenerator(data.DefaultAdsConfig(50, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := data.Pool(g, 20)
+	m, err := New(KindB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	first, err := TrainLocal(m, train.Examples, LocalConfig{Epochs: 1, BatchSize: 16, LR: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for e := 0; e < 4; e++ {
+		last, err = TrainLocal(m, train.Examples, LocalConfig{Epochs: 1, BatchSize: 16, LR: 0.1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestTrainLocalDeterministicGivenSeed(t *testing.T) {
+	examples := adsBatch(t, 32, 11)
+	run := func() tensor.Vector {
+		m, _ := New(KindB, 2)
+		rng := rand.New(rand.NewSource(42))
+		if _, err := TrainLocal(m, examples, LocalConfig{Epochs: 2, BatchSize: 8, LR: 0.2}, rng); err != nil {
+			t.Fatal(err)
+		}
+		return m.Params().Clone()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("local training must be deterministic given the seed")
+		}
+	}
+}
+
+func TestTrainLocalLeavesGradsClean(t *testing.T) {
+	examples := adsBatch(t, 8, 1)
+	m, _ := New(KindB, 2)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := TrainLocal(m, examples, LocalConfig{Epochs: 1, BatchSize: 4, LR: 0.1}, rng); err != nil {
+		t.Fatal(err)
+	}
+	if m.Grads().Norm2() != 0 {
+		t.Fatal("TrainLocal must zero gradients on exit")
+	}
+}
+
+func TestTrainCentralizedValidation(t *testing.T) {
+	m, _ := New(KindA, 1)
+	ds := &data.Dataset{Examples: adsBatch(t, 4, 1)}
+	if _, err := TrainCentralized(m, ds, CentralizedConfig{Epochs: 0, BatchSize: 1, Schedule: ConstantLR(0.1)}); err == nil {
+		t.Fatal("zero epochs must fail")
+	}
+	if _, err := TrainCentralized(m, ds, CentralizedConfig{Epochs: 1, BatchSize: 1}); err == nil {
+		t.Fatal("missing schedule must fail")
+	}
+}
+
+func TestBatchGradientEqualsMeanOfExampleGradients(t *testing.T) {
+	// Property: the batch-averaged update equals the mean of per-example
+	// gradients (our SGD step divides the accumulated gradient by n).
+	m, _ := New(KindA, 3)
+	spec, _ := InputSpecFor(KindA)
+	ds, _ := data.Dummy(spec, 4, 2)
+
+	// Accumulate over the batch.
+	m.ZeroGrads()
+	for _, ex := range ds.Examples {
+		m.TrainStep(ex)
+	}
+	batch := m.Grads().Clone()
+	batch.Scale(1.0 / 4)
+
+	// Mean of singles.
+	mean := tensor.NewVector(m.NumParams())
+	for _, ex := range ds.Examples {
+		m.ZeroGrads()
+		m.TrainStep(ex)
+		mean.AddScaled(1.0/4, m.Grads())
+	}
+	diff := batch.Clone()
+	diff.Sub(mean)
+	if diff.Norm2() > 1e-10*math.Max(1, mean.Norm2()) {
+		t.Fatalf("batch accumulation mismatch: %v", diff.Norm2())
+	}
+}

@@ -1,0 +1,338 @@
+package model
+
+import (
+	"math/rand"
+
+	"flint/internal/data"
+	"flint/internal/tensor"
+)
+
+// Architecture dimensions, sized to land on Table 5's parameter counts
+// (asserted by tests to within 1%).
+const (
+	// Model A: Tiny Neural Net, 44→33→1 ≈ 1,519 params.
+	tinyDenseDim = 44
+	tinyHidden   = 33
+	// Model B: MLP w/ sparse features, 4133→45→64→1 ≈ 189,039 params.
+	sparseDim     = 4133
+	sparseHidden1 = 45
+	sparseHidden2 = 64
+	// Model C: MLP w/ medium embedding, 6400×32 emb + (32+16)→64→1 ≈ 208,001.
+	embedMLPVocab    = 6400
+	embedMLPDim      = 32
+	embedMLPDenseDim = 16
+	embedMLPHidden   = 64
+	// Model D: CNN w/ large embedding ≈ 389,873 params.
+	embedCNNVocab  = 11600
+	embedCNNDim    = 32
+	embedCNNConv1  = 64
+	embedCNNConv2  = 48
+	embedCNNHidden = 64
+	embedCNNKernel = 3
+	maxSeqLen      = 64
+	// Model E: Multi-task MLP, 256→686→686→256, 3 heads ≈ 922,531 params.
+	multiTaskDenseDim = 256
+	multiTaskHidden   = 686
+	multiTaskTrunkOut = 256
+	multiTaskHeadDim  = 128
+	multiTaskHeads    = 3
+)
+
+// runtimeArenaBytes approximates the interpreter memory overhead per graph
+// complexity class, the dominant term in Table 5's "Memory" column for
+// small models.
+const (
+	arenaSmall  = 3 << 20  // simple dense graphs
+	arenaMedium = 8 << 20  // sequence graphs
+	arenaLarge  = 40 << 20 // multi-task graphs
+)
+
+// ---------------------------------------------------------------- model A
+
+// tinyNN is Table 5's model A: a dense 44→33→1 binary classifier used for
+// low-latency tasks such as search ranking.
+type tinyNN struct {
+	params, grads tensor.Vector
+	l1, l2        *dense
+	in, h1, m1    tensor.Vector
+	dh1           tensor.Vector
+}
+
+func newTinyNN(seed int64) *tinyNN {
+	n := (tinyDenseDim*tinyHidden + tinyHidden) + (tinyHidden + 1)
+	m := &tinyNN{params: tensor.NewVector(n), grads: tensor.NewVector(n)}
+	p, g := &arena{buf: m.params}, &arena{buf: m.grads}
+	m.l1 = newDense(p, g, tinyDenseDim, tinyHidden)
+	m.l2 = newDense(p, g, tinyHidden, 1)
+	rng := rand.New(rand.NewSource(seed))
+	m.l1.init(rng)
+	m.l2.init(rng)
+	m.in = tensor.NewVector(tinyDenseDim)
+	m.h1 = tensor.NewVector(tinyHidden)
+	m.m1 = tensor.NewVector(tinyHidden)
+	m.dh1 = tensor.NewVector(tinyHidden)
+	return m
+}
+
+func (m *tinyNN) Kind() Kind                      { return KindA }
+func (m *tinyNN) Name() string                    { return "Tiny Neural Net" }
+func (m *tinyNN) NumParams() int                  { return len(m.params) }
+func (m *tinyNN) Params() tensor.Vector           { return m.params }
+func (m *tinyNN) Grads() tensor.Vector            { return m.grads }
+func (m *tinyNN) SetParams(p tensor.Vector) error { return copyParams(m.params, p, KindA) }
+func (m *tinyNN) ZeroGrads()                      { m.grads.Zero() }
+
+func (m *tinyNN) forward(ex *data.Example) float64 {
+	fillDense(m.in, ex.Dense)
+	m.l1.forward(m.in, m.h1)
+	tensor.ApplyReLU(m.h1, m.m1)
+	var out [1]float64
+	m.l2.forward(m.h1, out[:])
+	return tensor.Sigmoid(out[0])
+}
+
+func (m *tinyNN) Predict(ex *data.Example) float64 { return m.forward(ex) }
+
+func (m *tinyNN) TrainStep(ex *data.Example) float64 {
+	p := m.forward(ex)
+	y := binaryLabel(ex)
+	dOut := [1]float64{p - y}
+	m.l2.backward(m.h1, dOut[:], m.dh1)
+	maskGrad(m.dh1, m.m1)
+	m.l1.backward(m.in, m.dh1, nil)
+	return tensor.LogLoss(p, y)
+}
+
+func (m *tinyNN) Clone() Model {
+	c := newTinyNN(0)
+	copy(c.params, m.params)
+	return c
+}
+
+func (m *tinyNN) Cost() CostProfile {
+	macs := float64(m.l1.numParams() + m.l2.numParams())
+	return CostProfile{
+		TrainFLOPs:         6 * macs,
+		InferFLOPs:         2 * macs,
+		MatmulFrac:         0.95,
+		PrepCostPerExample: float64(tinyDenseDim),
+		WeightBytes:        4 * len(m.params),
+		WireOverheadBytes:  51 << 10, // ships with its ops bundle
+		AssetBytes:         51 << 10,
+		ActivationFloats:   tinyDenseDim + 3*tinyHidden + 2,
+	}
+}
+
+// ---------------------------------------------------------------- model B
+
+// sparseMLP is Table 5's model B: a hashed multi-hot input feeding a small
+// MLP — the architecture selected for the ads case study (§4.1).
+type sparseMLP struct {
+	params, grads tensor.Vector
+	l0            *sparseLinear
+	l1, l2        *dense
+	h0, m0        tensor.Vector
+	h1, m1        tensor.Vector
+	dh0, dh1      tensor.Vector
+}
+
+func newSparseMLP(seed int64) *sparseMLP {
+	n := (sparseDim*sparseHidden1 + sparseHidden1) +
+		(sparseHidden1*sparseHidden2 + sparseHidden2) +
+		(sparseHidden2 + 1)
+	m := &sparseMLP{params: tensor.NewVector(n), grads: tensor.NewVector(n)}
+	p, g := &arena{buf: m.params}, &arena{buf: m.grads}
+	m.l0 = newSparseLinear(p, g, sparseDim, sparseHidden1)
+	m.l1 = newDense(p, g, sparseHidden1, sparseHidden2)
+	m.l2 = newDense(p, g, sparseHidden2, 1)
+	rng := rand.New(rand.NewSource(seed))
+	m.l0.init(rng)
+	m.l1.init(rng)
+	m.l2.init(rng)
+	m.h0 = tensor.NewVector(sparseHidden1)
+	m.m0 = tensor.NewVector(sparseHidden1)
+	m.h1 = tensor.NewVector(sparseHidden2)
+	m.m1 = tensor.NewVector(sparseHidden2)
+	m.dh0 = tensor.NewVector(sparseHidden1)
+	m.dh1 = tensor.NewVector(sparseHidden2)
+	return m
+}
+
+func (m *sparseMLP) Kind() Kind                      { return KindB }
+func (m *sparseMLP) Name() string                    { return "MLP w/ sparse features" }
+func (m *sparseMLP) NumParams() int                  { return len(m.params) }
+func (m *sparseMLP) Params() tensor.Vector           { return m.params }
+func (m *sparseMLP) Grads() tensor.Vector            { return m.grads }
+func (m *sparseMLP) SetParams(p tensor.Vector) error { return copyParams(m.params, p, KindB) }
+func (m *sparseMLP) ZeroGrads()                      { m.grads.Zero() }
+
+func (m *sparseMLP) forward(ex *data.Example) float64 {
+	m.l0.forward(ex.Sparse, m.h0)
+	tensor.ApplyReLU(m.h0, m.m0)
+	m.l1.forward(m.h0, m.h1)
+	tensor.ApplyReLU(m.h1, m.m1)
+	var out [1]float64
+	m.l2.forward(m.h1, out[:])
+	return tensor.Sigmoid(out[0])
+}
+
+func (m *sparseMLP) Predict(ex *data.Example) float64 { return m.forward(ex) }
+
+func (m *sparseMLP) TrainStep(ex *data.Example) float64 {
+	p := m.forward(ex)
+	y := binaryLabel(ex)
+	dOut := [1]float64{p - y}
+	m.l2.backward(m.h1, dOut[:], m.dh1)
+	maskGrad(m.dh1, m.m1)
+	m.l1.backward(m.h0, m.dh1, m.dh0)
+	maskGrad(m.dh0, m.m0)
+	m.l0.backward(ex.Sparse, m.dh0)
+	return tensor.LogLoss(p, y)
+}
+
+func (m *sparseMLP) Clone() Model {
+	c := newSparseMLP(0)
+	copy(c.params, m.params)
+	return c
+}
+
+func (m *sparseMLP) Cost() CostProfile {
+	// A mobile runtime executes the multi-hot layer as a dense matmul
+	// over the full hashed dimension — the root cause of model B's
+	// outsized device time versus model C (Table 5).
+	denseMACs := float64(sparseDim*sparseHidden1 + sparseHidden1*sparseHidden2 + sparseHidden2)
+	return CostProfile{
+		TrainFLOPs:         6 * denseMACs,
+		InferFLOPs:         2 * denseMACs,
+		MatmulFrac:         0.98,
+		PrepCostPerExample: 40 * 8, // vocab-file lookups per active feature
+		WeightBytes:        4 * len(m.params),
+		ActivationFloats:   2*sparseHidden1 + 2*sparseHidden2 + 2,
+	}
+}
+
+// ---------------------------------------------------------------- model C
+
+// embedMLP is Table 5's model C: mean-pooled token embeddings concatenated
+// with dense context features, feeding a small MLP — the messaging
+// classifier of §4.2.
+type embedMLP struct {
+	params, grads tensor.Vector
+	emb           *embedding
+	l1, l2        *dense
+	concat        tensor.Vector // [embDim + denseDim]
+	h1, m1        tensor.Vector
+	dh1, dconcat  tensor.Vector
+}
+
+func newEmbedMLP(seed int64) *embedMLP {
+	concatDim := embedMLPDim + embedMLPDenseDim
+	n := embedMLPVocab*embedMLPDim +
+		(concatDim*embedMLPHidden + embedMLPHidden) +
+		(embedMLPHidden + 1)
+	m := &embedMLP{params: tensor.NewVector(n), grads: tensor.NewVector(n)}
+	p, g := &arena{buf: m.params}, &arena{buf: m.grads}
+	m.emb = newEmbedding(p, g, embedMLPVocab, embedMLPDim)
+	m.l1 = newDense(p, g, concatDim, embedMLPHidden)
+	m.l2 = newDense(p, g, embedMLPHidden, 1)
+	rng := rand.New(rand.NewSource(seed))
+	m.emb.init(rng)
+	m.l1.init(rng)
+	m.l2.init(rng)
+	m.concat = tensor.NewVector(concatDim)
+	m.h1 = tensor.NewVector(embedMLPHidden)
+	m.m1 = tensor.NewVector(embedMLPHidden)
+	m.dh1 = tensor.NewVector(embedMLPHidden)
+	m.dconcat = tensor.NewVector(concatDim)
+	return m
+}
+
+func (m *embedMLP) Kind() Kind                      { return KindC }
+func (m *embedMLP) Name() string                    { return "MLP w/ medium embedding" }
+func (m *embedMLP) NumParams() int                  { return len(m.params) }
+func (m *embedMLP) Params() tensor.Vector           { return m.params }
+func (m *embedMLP) Grads() tensor.Vector            { return m.grads }
+func (m *embedMLP) SetParams(p tensor.Vector) error { return copyParams(m.params, p, KindC) }
+func (m *embedMLP) ZeroGrads()                      { m.grads.Zero() }
+
+func (m *embedMLP) forward(ex *data.Example) float64 {
+	m.emb.meanForward(truncTokens(ex.Tokens), m.concat[:embedMLPDim])
+	fillDense(m.concat[embedMLPDim:], ex.Dense)
+	m.l1.forward(m.concat, m.h1)
+	tensor.ApplyReLU(m.h1, m.m1)
+	var out [1]float64
+	m.l2.forward(m.h1, out[:])
+	return tensor.Sigmoid(out[0])
+}
+
+func (m *embedMLP) Predict(ex *data.Example) float64 { return m.forward(ex) }
+
+func (m *embedMLP) TrainStep(ex *data.Example) float64 {
+	p := m.forward(ex)
+	y := binaryLabel(ex)
+	dOut := [1]float64{p - y}
+	m.l2.backward(m.h1, dOut[:], m.dh1)
+	maskGrad(m.dh1, m.m1)
+	m.l1.backward(m.concat, m.dh1, m.dconcat)
+	m.emb.meanBackward(truncTokens(ex.Tokens), m.dconcat[:embedMLPDim])
+	return tensor.LogLoss(p, y)
+}
+
+func (m *embedMLP) Clone() Model {
+	c := newEmbedMLP(0)
+	copy(c.params, m.params)
+	return c
+}
+
+func (m *embedMLP) Cost() CostProfile {
+	// Embedding lookups are true gathers even on device, so the compute
+	// cost is only the small MLP — model C trains faster than model A's
+	// ballpark despite 137x the parameters.
+	concatDim := embedMLPDim + embedMLPDenseDim
+	macs := float64(concatDim*embedMLPHidden + embedMLPHidden)
+	gather := float64(28 * embedMLPDim) // mean tokens per record
+	return CostProfile{
+		TrainFLOPs:         6*macs + 4*gather,
+		InferFLOPs:         2*macs + gather,
+		MatmulFrac:         0.75,
+		PrepCostPerExample: 28, // tokenizer work per token
+		WeightBytes:        4 * len(m.params),
+		WireOverheadBytes:  90 << 10, // vocab delta sync
+		ActivationFloats:   concatDim*2 + 2*embedMLPHidden + 2,
+	}
+}
+
+// shared helpers -----------------------------------------------------------
+
+// fillDense copies src into dst, zero-filling the tail when src is shorter
+// and truncating when longer, so every domain's records fit every model.
+func fillDense(dst tensor.Vector, src []float64) {
+	n := copy(dst, src)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// binaryLabel maps the primary label to {0,1}. Ranking generators stamp the
+// click label into Label, so one rule serves every domain.
+func binaryLabel(ex *data.Example) float64 {
+	if ex.Label >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// maskGrad zeroes gradient entries where the ReLU was inactive.
+func maskGrad(dh, mask tensor.Vector) {
+	for i := range dh {
+		dh[i] *= mask[i]
+	}
+}
+
+// truncTokens bounds sequences to the model buffer length.
+func truncTokens(tokens []int) []int {
+	if len(tokens) > maxSeqLen {
+		return tokens[:maxSeqLen]
+	}
+	return tokens
+}

@@ -1,0 +1,133 @@
+// Package modelstore implements the versioned model parameter store shared
+// by centralized and federated training (paper §3.1: "the model store,
+// which is shared by centralized training, can store and retrieve versioned
+// parameters during FL training").
+package modelstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"flint/internal/model"
+)
+
+// Store keeps versioned serialized models by name. It is safe for
+// concurrent use; an optional directory persists every put.
+type Store struct {
+	mu   sync.RWMutex
+	blob map[string]map[int][]byte
+	next map[string]int
+	dir  string
+}
+
+// New creates an in-memory store; dir != "" also persists snapshots as
+// name-vNNN.gob files.
+func New(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("modelstore: mkdir %s: %w", dir, err)
+		}
+	}
+	return &Store{
+		blob: make(map[string]map[int][]byte),
+		next: make(map[string]int),
+		dir:  dir,
+	}, nil
+}
+
+// Put stores a new version of the named model and returns its version
+// number (starting at 1).
+func (s *Store) Put(name string, m model.Model) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("modelstore: empty model name")
+	}
+	var buf bytes.Buffer
+	if err := model.Save(m, &buf); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.blob[name] == nil {
+		s.blob[name] = make(map[int][]byte)
+		s.next[name] = 0
+	}
+	s.next[name]++
+	v := s.next[name]
+	s.blob[name][v] = buf.Bytes()
+	if s.dir != "" {
+		path := filepath.Join(s.dir, fmt.Sprintf("%s-v%03d.gob", name, v))
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return 0, fmt.Errorf("modelstore: persist %s: %w", path, err)
+		}
+	}
+	return v, nil
+}
+
+// Get retrieves a specific version.
+func (s *Store) Get(name string, version int) (model.Model, error) {
+	s.mu.RLock()
+	raw, ok := s.blob[name][version]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("modelstore: %s v%d not found", name, version)
+	}
+	return model.Load(bytes.NewReader(raw))
+}
+
+// Latest retrieves the newest version and its number.
+func (s *Store) Latest(name string) (model.Model, int, error) {
+	s.mu.RLock()
+	v := s.next[name]
+	s.mu.RUnlock()
+	if v == 0 {
+		return nil, 0, fmt.Errorf("modelstore: %s has no versions", name)
+	}
+	m, err := s.Get(name, v)
+	return m, v, err
+}
+
+// Versions lists a model's stored versions ascending.
+func (s *Store) Versions(name string) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.blob[name]))
+	for v := range s.blob[name] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Names lists stored model names sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.blob))
+	for n := range s.blob {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes one version (old snapshots are garbage-collected in
+// production stores).
+func (s *Store) Delete(name string, version int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blob[name][version]; !ok {
+		return fmt.Errorf("modelstore: %s v%d not found", name, version)
+	}
+	delete(s.blob[name], version)
+	if s.dir != "" {
+		path := filepath.Join(s.dir, fmt.Sprintf("%s-v%03d.gob", name, version))
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("modelstore: remove %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package modelstore
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"flint/internal/model"
+)
+
+func TestPutGetLatest(t *testing.T) {
+	s, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := model.New(model.KindA, 1)
+	m2, _ := model.New(model.KindA, 2)
+	v1, err := s.Put("ads", m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Put("ads", m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("versions %d %d", v1, v2)
+	}
+	got, err := s.Get("ads", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params()[0] != m1.Params()[0] {
+		t.Fatal("v1 params mismatch")
+	}
+	latest, v, err := s.Latest("ads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || latest.Params()[0] != m2.Params()[0] {
+		t.Fatal("latest mismatch")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, _ := New("")
+	m, _ := model.New(model.KindA, 1)
+	if _, err := s.Put("", m); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if _, err := s.Get("nope", 1); err == nil {
+		t.Fatal("missing model must fail")
+	}
+	if _, _, err := s.Latest("nope"); err == nil {
+		t.Fatal("missing latest must fail")
+	}
+	if err := s.Delete("nope", 1); err == nil {
+		t.Fatal("missing delete must fail")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := model.New(model.KindB, 3)
+	if _, err := s.Put("msg", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "msg-v001.gob")); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "msg-v*.gob"))
+	if len(matches) != 1 {
+		t.Fatalf("persisted files: %v", matches)
+	}
+	if err := s.Delete("msg", 1); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ = filepath.Glob(filepath.Join(dir, "msg-v*.gob"))
+	if len(matches) != 0 {
+		t.Fatalf("file not removed: %v", matches)
+	}
+}
+
+func TestVersionsAndNames(t *testing.T) {
+	s, _ := New("")
+	m, _ := model.New(model.KindA, 1)
+	s.Put("b", m)
+	s.Put("a", m)
+	s.Put("a", m)
+	if got := s.Versions("a"); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("versions: %v", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := New("")
+	m, _ := model.New(model.KindA, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := s.Put("shared", m); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := s.Latest("shared"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(s.Versions("shared")); got != 320 {
+		t.Fatalf("expected 320 versions, got %d", got)
+	}
+}

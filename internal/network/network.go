@@ -1,0 +1,69 @@
+// Package network models edge-device uplink/downlink bandwidth. The paper
+// samples client bandwidth N from the Puffer dataset (Yan et al., NSDI '20)
+// when computing taskDuration(k) = t·E·|Dk| + 2M/N; Puffer is an external
+// dataset we cannot ship, so this package substitutes a heavy-left-tailed
+// log-normal mixture calibrated to published edge-network characteristics
+// (median ≈ 5 Mbps with a slow tail into the hundreds of kbps; see DESIGN.md
+// §2 for the substitution note).
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BandwidthModel samples sustained client throughput in bytes/second.
+type BandwidthModel struct {
+	// MedianMbps is the distribution median in megabits per second.
+	MedianMbps float64
+	// Sigma is the log-normal shape; larger means heavier tails both ways.
+	Sigma float64
+	// SlowFrac is the fraction of sessions pinned to the congested tail
+	// (cellular handoffs, weak WiFi), drawn from a second log-normal one
+	// decade below the median.
+	SlowFrac float64
+	// FloorMbps bounds the worst case so task durations stay finite.
+	FloorMbps float64
+}
+
+// Default is calibrated so the median transfer of a ~1 MB update takes a
+// couple of seconds, matching the paper's observation that tiny-model tasks
+// are dominated by network time.
+var Default = BandwidthModel{MedianMbps: 5, Sigma: 0.9, SlowFrac: 0.08, FloorMbps: 0.1}
+
+// Validate reports configuration errors.
+func (b BandwidthModel) Validate() error {
+	if b.MedianMbps <= 0 {
+		return fmt.Errorf("network: median must be positive, got %v", b.MedianMbps)
+	}
+	if b.Sigma < 0 {
+		return fmt.Errorf("network: sigma must be >= 0, got %v", b.Sigma)
+	}
+	if b.SlowFrac < 0 || b.SlowFrac > 1 {
+		return fmt.Errorf("network: slow fraction %v outside [0,1]", b.SlowFrac)
+	}
+	if b.FloorMbps < 0 {
+		return fmt.Errorf("network: floor must be >= 0, got %v", b.FloorMbps)
+	}
+	return nil
+}
+
+// SampleBps draws one client's throughput in bytes per second.
+func (b BandwidthModel) SampleBps(rng *rand.Rand) float64 {
+	median := b.MedianMbps
+	if b.SlowFrac > 0 && rng.Float64() < b.SlowFrac {
+		median = b.MedianMbps / 10
+	}
+	mbps := median * math.Exp(b.Sigma*rng.NormFloat64())
+	if mbps < b.FloorMbps {
+		mbps = b.FloorMbps
+	}
+	return mbps * 1e6 / 8
+}
+
+// TransferSeconds returns the time to move `bytes` at a sampled bandwidth.
+func (b BandwidthModel) TransferSeconds(bytes int, rng *rand.Rand) float64 {
+	bps := b.SampleBps(rng)
+	return float64(bytes) / bps
+}

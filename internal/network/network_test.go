@@ -1,0 +1,73 @@
+package network
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []BandwidthModel{
+		{MedianMbps: 0},
+		{MedianMbps: 1, Sigma: -1},
+		{MedianMbps: 1, SlowFrac: 2},
+		{MedianMbps: 1, FloorMbps: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("model %d must fail validation", i)
+		}
+	}
+}
+
+func TestSampleDistributionShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 50000
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = Default.SampleBps(rng) * 8 / 1e6 // back to Mbps
+		if samples[i] < Default.FloorMbps {
+			t.Fatalf("sample %v below floor", samples[i])
+		}
+	}
+	sort.Float64s(samples)
+	median := samples[n/2]
+	if median < 3 || median > 8 {
+		t.Fatalf("median %v Mbps far from configured 5", median)
+	}
+	// Heavy left tail: p5 must be far below median (slow sessions).
+	p5 := samples[n/20]
+	if p5 > median/3 {
+		t.Fatalf("p5 %v not heavy-tailed vs median %v", p5, median)
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// 1 MB at ~5 Mbps ≈ 1.6 s; across samples the mean should be seconds,
+	// not milliseconds or minutes.
+	var total float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		total += Default.TransferSeconds(1<<20, rng)
+	}
+	mean := total / trials
+	if mean < 0.3 || mean > 30 {
+		t.Fatalf("mean 1MB transfer %v s implausible", mean)
+	}
+	// Zero bytes transfer instantly.
+	if got := Default.TransferSeconds(0, rng); got != 0 {
+		t.Fatalf("zero-byte transfer took %v", got)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Default.SampleBps(rand.New(rand.NewSource(7)))
+	b := Default.SampleBps(rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Fatal("sampling must be deterministic per seed")
+	}
+}

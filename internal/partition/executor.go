@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flint/internal/data"
+)
+
+// ExecutorPartition is one executor's slice of the proxy dataset: a set of
+// unique clients the executor loads into memory for fast random access
+// during simulation (§3.4 "Scalability and Fault Tolerance").
+type ExecutorPartition struct {
+	Executor int
+	Shards   []data.ClientShard
+}
+
+// NumClients returns the client count in the partition.
+func (p *ExecutorPartition) NumClients() int { return len(p.Shards) }
+
+// NumRecords returns the record count in the partition.
+func (p *ExecutorPartition) NumRecords() int {
+	n := 0
+	for _, s := range p.Shards {
+		n += len(s.Examples)
+	}
+	return n
+}
+
+// RoundRobin assigns client shards to executors "by client id in a
+// round-robin fashion" (§4.1), producing one partition per executor rather
+// than one file per client. This bounds the storage namespace and improves
+// compression by batching many clients per file.
+func RoundRobin(shards []data.ClientShard, executors int) ([]*ExecutorPartition, error) {
+	if executors <= 0 {
+		return nil, fmt.Errorf("partition: executors must be positive, got %d", executors)
+	}
+	parts := make([]*ExecutorPartition, executors)
+	for i := range parts {
+		parts[i] = &ExecutorPartition{Executor: i}
+	}
+	for i, s := range shards {
+		p := parts[i%executors]
+		p.Shards = append(p.Shards, s)
+	}
+	return parts, nil
+}
+
+// WriteFile persists the partition with gob encoding.
+func (p *ExecutorPartition) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("partition: write %s: %w", path, err)
+	}
+	w := bufio.NewWriter(f)
+	if err := gob.NewEncoder(w).Encode(p); err != nil {
+		f.Close()
+		return fmt.Errorf("partition: encode %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("partition: flush %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("partition: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile loads a partition written by WriteFile.
+func ReadFile(path string) (*ExecutorPartition, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("partition: read %s: %w", path, err)
+	}
+	defer f.Close()
+	return decodePartition(bufio.NewReader(f), path)
+}
+
+func decodePartition(r io.Reader, name string) (*ExecutorPartition, error) {
+	var p ExecutorPartition
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("partition: decode %s: %w", name, err)
+	}
+	return &p, nil
+}
+
+// WriteAll writes every partition into dir as partition-NNN.gob and returns
+// the file paths.
+func WriteAll(parts []*ExecutorPartition, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("partition: mkdir %s: %w", dir, err)
+	}
+	paths := make([]string, len(parts))
+	for i, p := range parts {
+		path := filepath.Join(dir, fmt.Sprintf("partition-%03d.gob", p.Executor))
+		if err := p.WriteFile(path); err != nil {
+			return nil, err
+		}
+		paths[i] = path
+	}
+	return paths, nil
+}

@@ -1,0 +1,241 @@
+package partition
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"flint/internal/data"
+)
+
+func adsShards(t *testing.T, clients int) []data.ClientShard {
+	t.Helper()
+	g, err := data.NewAdsGenerator(data.DefaultAdsConfig(clients, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.GenerateClients(clients)
+}
+
+func TestComputeStats(t *testing.T) {
+	shards := []data.ClientShard{
+		{ClientID: 1, Examples: []*data.Example{{Label: 1}, {Label: 0}}},
+		{ClientID: 2, Examples: []*data.Example{{Label: 0}, {Label: 0}, {Label: 0}, {Label: 0}}},
+	}
+	s := ComputeStats("test", shards, 30)
+	if s.ClientPop != 2 || s.MaxRecords != 4 || s.AvgRecords != 3 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if math.Abs(s.LabelRatio-1.0/6) > 1e-12 {
+		t.Fatalf("label ratio %v", s.LabelRatio)
+	}
+	if s.LookbackDays != 30 {
+		t.Fatalf("lookback %d", s.LookbackDays)
+	}
+	if s.String() == "" {
+		t.Fatal("stats must print")
+	}
+}
+
+func TestQuantityStatsFullScaleShape(t *testing.T) {
+	// Dataset C at meaningful scale: mean must land near the paper's 1.53
+	// and max far below the messaging/ads maxima.
+	s, err := QuantityStats("datasetC", data.SearchQuantity, 500000, 0.06, 61, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgRecords < 1.2 || s.AvgRecords > 2.2 {
+		t.Fatalf("search avg %v far from 1.53", s.AvgRecords)
+	}
+	if s.MaxRecords > 406 {
+		t.Fatalf("search max %d exceeds cap", s.MaxRecords)
+	}
+	if _, err := QuantityStats("x", data.SearchQuantity, 0, 0, 0, 1); err == nil {
+		t.Fatal("zero clients must error")
+	}
+}
+
+func TestByFieldGroupsAndSorts(t *testing.T) {
+	ds := &data.Dataset{Examples: []*data.Example{
+		{ClientID: 5}, {ClientID: 1}, {ClientID: 5}, {ClientID: 3},
+	}}
+	shards := ByField(ds)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	if shards[0].ClientID != 1 || shards[1].ClientID != 3 || shards[2].ClientID != 5 {
+		t.Fatalf("shards not sorted: %v %v %v", shards[0].ClientID, shards[1].ClientID, shards[2].ClientID)
+	}
+	if len(shards[2].Examples) != 2 {
+		t.Fatalf("client 5 should have 2 records")
+	}
+}
+
+func TestDirichletSkew(t *testing.T) {
+	// Build a balanced dataset, then verify small alpha yields heavily
+	// skewed per-client label ratios while large alpha stays mixed.
+	mk := func() *data.Dataset {
+		ds := &data.Dataset{}
+		for i := 0; i < 20000; i++ {
+			ex := &data.Example{}
+			if i%2 == 0 {
+				ex.Label = 1
+			}
+			ds.Examples = append(ds.Examples, ex)
+		}
+		return ds
+	}
+	q := data.QuantityModel{Mu: 3.5, Sigma: 0.3, Min: 5, Cap: 100}
+
+	skewed, err := Dirichlet(mk(), DirichletConfig{Clients: 100, Alpha: 0.05, Quantity: q, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Dirichlet(mk(), DirichletConfig{Clients: 100, Alpha: 100, Quantity: q, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extremeFrac := func(shards []data.ClientShard) float64 {
+		extreme := 0
+		for _, s := range shards {
+			ds := data.Dataset{Examples: s.Examples}
+			r := ds.LabelRatio()
+			if r < 0.1 || r > 0.9 {
+				extreme++
+			}
+		}
+		return float64(extreme) / float64(len(shards))
+	}
+	if ef := extremeFrac(skewed); ef < 0.5 {
+		t.Fatalf("alpha=0.05 should give mostly extreme clients, got %.2f", ef)
+	}
+	if ef := extremeFrac(mixed); ef > 0.1 {
+		t.Fatalf("alpha=100 should give mixed clients, got %.2f", ef)
+	}
+}
+
+func TestDirichletValidation(t *testing.T) {
+	ds := &data.Dataset{Examples: []*data.Example{{}}}
+	q := data.QuantityModel{Mu: 1, Sigma: 0.1, Min: 1}
+	if _, err := Dirichlet(ds, DirichletConfig{Clients: 0, Alpha: 1, Quantity: q}); err == nil {
+		t.Fatal("zero clients must fail")
+	}
+	if _, err := Dirichlet(ds, DirichletConfig{Clients: 1, Alpha: 0, Quantity: q}); err == nil {
+		t.Fatal("zero alpha must fail")
+	}
+	if _, err := Dirichlet(&data.Dataset{}, DirichletConfig{Clients: 1, Alpha: 1, Quantity: q}); err == nil {
+		t.Fatal("empty dataset must fail")
+	}
+}
+
+func TestDirichletConservation(t *testing.T) {
+	// No example may be duplicated across shards.
+	ds := &data.Dataset{}
+	for i := 0; i < 1000; i++ {
+		ds.Examples = append(ds.Examples, &data.Example{QueryID: int64(i), Label: float64(i % 2)})
+	}
+	shards, err := Dirichlet(ds, DirichletConfig{
+		Clients: 50, Alpha: 0.5,
+		Quantity: data.QuantityModel{Mu: 3, Sigma: 0.5, Min: 1, Cap: 100}, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, s := range shards {
+		for _, ex := range s.Examples {
+			if seen[ex.QueryID] {
+				t.Fatalf("example %d assigned twice", ex.QueryID)
+			}
+			seen[ex.QueryID] = true
+			if ex.ClientID != s.ClientID {
+				t.Fatal("clone must be re-stamped with shard client id")
+			}
+		}
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	shards := adsShards(t, 23)
+	parts, err := RoundRobin(shards, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 4 {
+		t.Fatalf("%d partitions", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += p.NumClients()
+		if p.NumRecords() <= 0 {
+			t.Fatal("empty partition")
+		}
+	}
+	if total != 23 {
+		t.Fatalf("clients lost: %d", total)
+	}
+	// Balance: max-min client count across executors must be <= 1.
+	lo, hi := parts[0].NumClients(), parts[0].NumClients()
+	for _, p := range parts {
+		if p.NumClients() < lo {
+			lo = p.NumClients()
+		}
+		if p.NumClients() > hi {
+			hi = p.NumClients()
+		}
+	}
+	if hi-lo > 1 {
+		t.Fatalf("imbalanced: %d..%d", lo, hi)
+	}
+	if _, err := RoundRobin(shards, 0); err == nil {
+		t.Fatal("zero executors must fail")
+	}
+}
+
+func TestPartitionFileRoundTrip(t *testing.T) {
+	shards := adsShards(t, 6)
+	parts, err := RoundRobin(shards, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := WriteAll(parts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("%d paths", len(paths))
+	}
+	got, err := ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClients() != parts[0].NumClients() || got.NumRecords() != parts[0].NumRecords() {
+		t.Fatalf("round-trip mismatch: %d/%d vs %d/%d",
+			got.NumClients(), got.NumRecords(), parts[0].NumClients(), parts[0].NumRecords())
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestTable2StatsFromAdsGenerator(t *testing.T) {
+	// End-to-end: generate, partition by field, compute stats — the
+	// pipeline behind Table 2's Dataset A column (down-scaled).
+	shards := adsShards(t, 400)
+	ds := &data.Dataset{}
+	for _, s := range shards {
+		ds.Examples = append(ds.Examples, s.Examples...)
+	}
+	regrouped := ByField(ds)
+	stats := ComputeStats("datasetA", regrouped, 90)
+	if stats.ClientPop != 400 {
+		t.Fatalf("pop %d", stats.ClientPop)
+	}
+	if stats.StdRecords < stats.AvgRecords {
+		t.Fatalf("ads quantity must be heavy-tailed: avg %.1f std %.1f", stats.AvgRecords, stats.StdRecords)
+	}
+	if stats.LabelRatio < 0.15 || stats.LabelRatio > 0.45 {
+		t.Fatalf("label ratio %v far from 0.28", stats.LabelRatio)
+	}
+}

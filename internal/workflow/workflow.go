@@ -1,0 +1,130 @@
+// Package workflow implements the decision workflow of Fig 9: a gated,
+// ordered sequence of assessment steps — client data/compute/availability
+// understanding, proxy dataset construction, mobile-ready model selection,
+// simulation, resource forecasting, and privacy/security review — each of
+// which must pass its gate before an FL project reaches production.
+package workflow
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Status is a step outcome.
+type Status string
+
+// Step outcomes.
+const (
+	Passed  Status = "passed"
+	Failed  Status = "failed"
+	Skipped Status = "skipped"
+)
+
+// Context carries artifacts between steps (availability traces, proxy
+// stats, benchmark rows, simulation reports) keyed by name.
+type Context struct {
+	artifacts map[string]interface{}
+}
+
+// NewContext creates an empty artifact context.
+func NewContext() *Context {
+	return &Context{artifacts: make(map[string]interface{})}
+}
+
+// Put stores an artifact.
+func (c *Context) Put(key string, v interface{}) { c.artifacts[key] = v }
+
+// Get fetches an artifact.
+func (c *Context) Get(key string) (interface{}, bool) {
+	v, ok := c.artifacts[key]
+	return v, ok
+}
+
+// StepResult is one step's report entry.
+type StepResult struct {
+	Name    string
+	Status  Status
+	Detail  string
+	Elapsed time.Duration
+}
+
+// Step is one gated stage of the decision workflow. Run returns a detail
+// string and pass/fail; an error aborts the whole workflow (infrastructure
+// problem, as opposed to a failed gate).
+type Step struct {
+	Name string
+	Run  func(ctx *Context) (detail string, pass bool, err error)
+	// Optional marks steps whose failure does not block the decision
+	// (e.g. carbon accounting), recorded but not gating.
+	Optional bool
+}
+
+// Workflow is an ordered pipeline of steps.
+type Workflow struct {
+	Name  string
+	Steps []Step
+}
+
+// Outcome is the full decision record.
+type Outcome struct {
+	Workflow string
+	Results  []StepResult
+	// Go is the final ship/no-ship decision: all gating steps passed.
+	Go bool
+	// FailedGate names the first gating step that failed, if any.
+	FailedGate string
+}
+
+// Run executes the steps in order against a fresh outcome. Gating failures
+// stop execution (later steps are recorded as skipped), mirroring Fig 9's
+// flow where each stage feeds the next.
+func (w *Workflow) Run(ctx *Context) (Outcome, error) {
+	if len(w.Steps) == 0 {
+		return Outcome{}, fmt.Errorf("workflow %s: no steps", w.Name)
+	}
+	out := Outcome{Workflow: w.Name, Go: true}
+	blocked := false
+	for _, step := range w.Steps {
+		if step.Run == nil {
+			return Outcome{}, fmt.Errorf("workflow %s: step %s has no Run", w.Name, step.Name)
+		}
+		if blocked {
+			out.Results = append(out.Results, StepResult{Name: step.Name, Status: Skipped})
+			continue
+		}
+		start := time.Now()
+		detail, pass, err := step.Run(ctx)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("workflow %s: step %s: %w", w.Name, step.Name, err)
+		}
+		res := StepResult{Name: step.Name, Detail: detail, Elapsed: time.Since(start)}
+		if pass {
+			res.Status = Passed
+		} else {
+			res.Status = Failed
+			if !step.Optional {
+				out.Go = false
+				out.FailedGate = step.Name
+				blocked = true
+			}
+		}
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}
+
+// String renders the outcome as a report.
+func (o Outcome) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Decision workflow: %s\n", o.Workflow)
+	for _, r := range o.Results {
+		fmt.Fprintf(&b, "  [%-7s] %-28s %s\n", r.Status, r.Name, r.Detail)
+	}
+	if o.Go {
+		b.WriteString("  DECISION: GO — all gates passed\n")
+	} else {
+		fmt.Fprintf(&b, "  DECISION: NO-GO — blocked at %q\n", o.FailedGate)
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package workflow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func pass(name string) Step {
+	return Step{Name: name, Run: func(*Context) (string, bool, error) { return "ok", true, nil }}
+}
+
+func fail(name string, optional bool) Step {
+	return Step{Name: name, Optional: optional, Run: func(*Context) (string, bool, error) { return "bad", false, nil }}
+}
+
+func TestAllPass(t *testing.T) {
+	w := &Workflow{Name: "ads", Steps: []Step{pass("a"), pass("b")}}
+	out, err := w.Run(NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Go || out.FailedGate != "" {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results: %d", len(out.Results))
+	}
+	if !strings.Contains(out.String(), "GO") {
+		t.Fatal("report must state decision")
+	}
+}
+
+func TestGateBlocks(t *testing.T) {
+	w := &Workflow{Name: "x", Steps: []Step{pass("a"), fail("gate", false), pass("never")}}
+	out, err := w.Run(NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Go {
+		t.Fatal("failed gate must block")
+	}
+	if out.FailedGate != "gate" {
+		t.Fatalf("failed gate: %q", out.FailedGate)
+	}
+	if out.Results[2].Status != Skipped {
+		t.Fatalf("later steps must be skipped, got %s", out.Results[2].Status)
+	}
+	if !strings.Contains(out.String(), "NO-GO") {
+		t.Fatal("report must state no-go")
+	}
+}
+
+func TestOptionalFailureDoesNotBlock(t *testing.T) {
+	w := &Workflow{Name: "x", Steps: []Step{fail("carbon", true), pass("rest")}}
+	out, err := w.Run(NewContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Go {
+		t.Fatal("optional failure must not block")
+	}
+	if out.Results[0].Status != Failed || out.Results[1].Status != Passed {
+		t.Fatalf("results: %+v", out.Results)
+	}
+}
+
+func TestStepErrorAborts(t *testing.T) {
+	boom := errors.New("infra down")
+	w := &Workflow{Name: "x", Steps: []Step{
+		{Name: "bad", Run: func(*Context) (string, bool, error) { return "", false, boom }},
+	}}
+	if _, err := w.Run(NewContext()); err == nil {
+		t.Fatal("step error must abort")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	w := &Workflow{Name: "empty"}
+	if _, err := w.Run(NewContext()); err == nil {
+		t.Fatal("empty workflow must error")
+	}
+	w2 := &Workflow{Name: "nil", Steps: []Step{{Name: "x"}}}
+	if _, err := w2.Run(NewContext()); err == nil {
+		t.Fatal("nil Run must error")
+	}
+}
+
+func TestContextArtifacts(t *testing.T) {
+	ctx := NewContext()
+	produced := Step{Name: "produce", Run: func(c *Context) (string, bool, error) {
+		c.Put("trace", 42)
+		return "made trace", true, nil
+	}}
+	consumed := Step{Name: "consume", Run: func(c *Context) (string, bool, error) {
+		v, ok := c.Get("trace")
+		if !ok || v.(int) != 42 {
+			return "missing artifact", false, nil
+		}
+		return "used trace", true, nil
+	}}
+	w := &Workflow{Name: "chain", Steps: []Step{produced, consumed}}
+	out, err := w.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Go {
+		t.Fatalf("artifact chain failed: %+v", out.Results)
+	}
+}

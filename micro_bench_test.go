@@ -1,0 +1,312 @@
+// Micro-benchmarks and ablation benches: per-model training throughput,
+// aggregation cost, partitioning layout, and the design-choice ablations
+// DESIGN.md §5 calls out.
+package flint_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flint/internal/aggregator"
+	"flint/internal/core"
+	"flint/internal/data"
+	"flint/internal/fedsim"
+	"flint/internal/model"
+	"flint/internal/partition"
+	"flint/internal/report"
+	"flint/internal/tensor"
+)
+
+// ------------------------------------------------- per-model training cost
+
+func benchmarkTrainStep(b *testing.B, kind model.Kind) {
+	m, err := model.New(kind, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := model.InputSpecFor(kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := data.Dummy(spec, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainStep(ds.Examples[i%ds.Len()])
+	}
+}
+
+func BenchmarkTrainStepModelA(b *testing.B) { benchmarkTrainStep(b, model.KindA) }
+func BenchmarkTrainStepModelB(b *testing.B) { benchmarkTrainStep(b, model.KindB) }
+func BenchmarkTrainStepModelC(b *testing.B) { benchmarkTrainStep(b, model.KindC) }
+func BenchmarkTrainStepModelD(b *testing.B) { benchmarkTrainStep(b, model.KindD) }
+func BenchmarkTrainStepModelE(b *testing.B) { benchmarkTrainStep(b, model.KindE) }
+
+func benchmarkPredict(b *testing.B, kind model.Kind) {
+	m, err := model.New(kind, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := model.InputSpecFor(kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := data.Dummy(spec, 256, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(ds.Examples[i%ds.Len()])
+	}
+}
+
+func BenchmarkPredictModelA(b *testing.B) { benchmarkPredict(b, model.KindA) }
+func BenchmarkPredictModelB(b *testing.B) { benchmarkPredict(b, model.KindB) }
+func BenchmarkPredictModelE(b *testing.B) { benchmarkPredict(b, model.KindE) }
+
+// ----------------------------------------------------- aggregation kernels
+
+func makeUpdates(n, dim int) []aggregator.Update {
+	rng := rand.New(rand.NewSource(7))
+	ups := make([]aggregator.Update, n)
+	for i := range ups {
+		d := tensor.NewVector(dim)
+		for j := range d {
+			d[j] = rng.NormFloat64()
+		}
+		ups[i] = aggregator.Update{ClientID: int64(i), Delta: d, Weight: 1, Staleness: i % 5}
+	}
+	return ups
+}
+
+func BenchmarkAggregateFedAvg(b *testing.B) {
+	ups := makeUpdates(16, 189_039)
+	global := tensor.NewVector(189_039)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := (aggregator.FedAvg{}).Aggregate(global, ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateFedBuff(b *testing.B) {
+	ups := makeUpdates(16, 189_039)
+	global := tensor.NewVector(189_039)
+	f := aggregator.FedBuff{ServerLR: 1, Alpha: 0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Aggregate(global, ups); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSecAggMaskedSum(b *testing.B) {
+	ups := makeUpdates(8, 1519) // model A updates through the enclave
+	sec := aggregator.SecAgg{MaskScale: 1, Seed: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sec.MaskedSum(ups, 1519); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// -------------------------------------------------------------- ablations
+
+// BenchmarkAblationOverCommit quantifies the sync-mode trade-off: higher
+// over-commitment shortens rounds (less straggler exposure) but wastes work.
+func BenchmarkAblationOverCommit(b *testing.B) {
+	spec, err := core.SpecFor(core.Ads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := benchScale
+	scale.MaxRounds = 25
+	for i := 0; i < b.N; i++ {
+		lines := []string{}
+		for _, oc := range []float64{1.0, 1.3, 2.0} {
+			env, _, err := core.BuildEnvironment(spec, scale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.SyncConfig(spec, scale, 1)
+			cfg.OverCommit = oc
+			cfg.EvalEvery = 0
+			rep, err := fedsim.Run(cfg, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wasted := rep.TotalStragglers + rep.TotalInterrupted
+			lines = append(lines, fmt.Sprintf(
+				"  over-commit %.1f: %d rounds in %s, wasted tasks %d of %d",
+				oc, len(rep.Rounds), report.Dur(rep.FinalVTime), wasted, rep.TotalStarted))
+		}
+		once("ablation-oc", func() {
+			fmt.Printf("\nAblation — sync over-commitment (GFL-style dropout handling):\n")
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStalenessAlpha sweeps FedBuff's discount exponent.
+func BenchmarkAblationStalenessAlpha(b *testing.B) {
+	spec, err := core.SpecFor(core.Ads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := benchScale
+	scale.MaxRounds = 60
+	for i := 0; i < b.N; i++ {
+		lines := []string{}
+		for _, alpha := range []float64{0, 0.5, 2} {
+			env, _, err := core.BuildEnvironment(spec, scale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.AsyncConfig(spec, scale, 1)
+			cfg.StalenessAlpha = alpha
+			rep, err := fedsim.Run(cfg, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			best := 0.0
+			for _, r := range rep.Rounds {
+				if r.Evaluated() && r.Metric > best {
+					best = r.Metric
+				}
+			}
+			lines = append(lines, fmt.Sprintf("  alpha %.1f: best AUPR %.4f", alpha, best))
+		}
+		once("ablation-alpha", func() {
+			fmt.Printf("\nAblation — FedBuff staleness-discount exponent:\n")
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitionLayout compares partition-per-executor files
+// against file-per-client, the §3.4 storage design choice.
+func BenchmarkAblationPartitionLayout(b *testing.B) {
+	gen, err := data.NewAdsGenerator(data.DefaultAdsConfig(200, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := gen.GenerateClients(200)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Partition-per-executor: 20 files.
+		parts, err := partition.RoundRobin(shards, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perExec, err := partition.WriteAll(parts, fmt.Sprintf("%s/exec-%d", dir, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// File-per-client: 200 files.
+		single := make([]*partition.ExecutorPartition, len(shards))
+		for j, s := range shards {
+			single[j] = &partition.ExecutorPartition{Executor: j, Shards: []data.ClientShard{s}}
+		}
+		perClient, err := partition.WriteAll(single, fmt.Sprintf("%s/client-%d", dir, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ablation-layout", func() {
+			fmt.Printf("\nAblation — storage layout: %d executor files vs %d per-client files "+
+				"(namespace growth is the §3.4 concern)\n", len(perExec), len(perClient))
+		})
+	}
+}
+
+// BenchmarkAblationRobustAggregation measures poisoning damage with and
+// without the trimmed-mean defense (§3.6 / §4.2).
+func BenchmarkAblationRobustAggregation(b *testing.B) {
+	spec, err := core.SpecFor(core.Ads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := benchScale
+	scale.MaxRounds = 40
+	adversary := &aggregator.Adversary{Attack: aggregator.SignFlip{Scale: 4}, Fraction: 0.25, Seed: 5}
+	for i := 0; i < b.N; i++ {
+		lines := []string{}
+		for _, mode := range []struct {
+			name string
+			adv  *aggregator.Adversary
+			trim float64
+		}{
+			{"clean", nil, 0},
+			{"poisoned", adversary, 0},
+			{"poisoned+trimmed-mean", adversary, 0.25},
+		} {
+			env, _, err := core.BuildEnvironment(spec, scale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.AsyncConfig(spec, scale, 1)
+			cfg.Adversary = mode.adv
+			cfg.RobustTrimFrac = mode.trim
+			rep, err := fedsim.Run(cfg, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			best := 0.0
+			for _, r := range rep.Rounds {
+				if r.Evaluated() && r.Metric > best {
+					best = r.Metric
+				}
+			}
+			lines = append(lines, fmt.Sprintf("  %-22s best AUPR %.4f", mode.name, best))
+		}
+		once("ablation-robust", func() {
+			fmt.Printf("\nAblation — poisoning (25%% sign-flip) vs robust aggregation:\n")
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulationThroughput measures simulated client tasks per second
+// of wall time — §3.4 reports 60k tasks/hour on 20 executors for Task C.
+func BenchmarkSimulationThroughput(b *testing.B) {
+	spec, err := core.SpecFor(core.Ads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := benchScale
+	scale.MaxRounds = 50
+	env, _, err := core.BuildEnvironment(spec, scale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.AsyncConfig(spec, scale, int64(i))
+		cfg.EvalEvery = 0
+		rep, err := fedsim.Run(cfg, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += rep.TotalStarted
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "tasks/sec")
+}
