@@ -1,0 +1,67 @@
+// Command flint-fleet is the load generator for cmd/flint-server: it spins
+// up thousands of goroutine "devices" sampled from the Fig 1 population
+// model (bench-pool profiles plus the Zipf long tail), drives full training
+// rounds over the /v1 API — check in, pull task, simulate profile-scaled
+// local training, submit an update — and reports throughput and client-side
+// latency percentiles.
+//
+// Example:
+//
+//	flint-server -mode async -target 64 &
+//	flint-fleet -server http://127.0.0.1:8080 -devices 2000 -rounds 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flint/internal/coord"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8080", "coordination server base URL")
+	devices := flag.Int("devices", 1000, "simulated device count")
+	rounds := flag.Int("rounds", 3, "committed rounds to drive before stopping")
+	seed := flag.Int64("seed", 1, "population and behavior seed")
+	think := flag.Duration("think", 20*time.Millisecond, "mean device think time between protocol steps")
+	computeScale := flag.Float64("compute-scale", 1, "scale simulated local-training time (0 disables)")
+	deltaScale := flag.Float64("delta-scale", 0.01, "synthetic update delta magnitude")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
+	flag.Parse()
+
+	rep, err := coord.RunFleet(coord.FleetConfig{
+		BaseURL:      *server,
+		Devices:      *devices,
+		Rounds:       *rounds,
+		Seed:         *seed,
+		ThinkTime:    *think,
+		ComputeScale: *computeScale,
+		DeltaScale:   *deltaScale,
+		Timeout:      *timeout,
+	})
+	if rep != nil {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			fmt.Print(rep.String())
+			if st := rep.FinalStatus; st != nil {
+				fmt.Printf("  server: mode=%s model=%s committed=%d abandoned=%d accepted=%d shed=%d\n",
+					st.Mode, st.ModelKind, st.Counters["rounds_committed"],
+					st.Counters["rounds_abandoned"], st.Counters["update_accepted"],
+					st.Counters["update_rejected_busy"])
+			}
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Command flint-server runs the live federated coordination service: the
+// wall-clock serving counterpart of cmd/flint-sim's virtual-clock simulator.
+// Devices check in, receive training tasks, and submit updates over the
+// /v1 JSON API; the server runs sync FedAvg or async FedBuff rounds and
+// publishes model versions. Pair it with cmd/flint-fleet for load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"flint/internal/availability"
+	"flint/internal/coord"
+	"flint/internal/model"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	mode := flag.String("mode", "sync", "training mode: sync (FedAvg) or async (FedBuff)")
+	kind := flag.String("model", "A", "Table 5 model kind to train (A–E)")
+	name := flag.String("name", "served", "modelstore name for published versions")
+	seed := flag.Int64("seed", 1, "model init seed")
+	target := flag.Int("target", 32, "updates per aggregation (round size / async buffer K)")
+	quorum := flag.Int("quorum", 0, "minimum updates accepted at the round deadline (default target/2)")
+	overCommit := flag.Float64("overcommit", 1.3, "sync assignment multiplier over target")
+	deadline := flag.Duration("deadline", 15*time.Second, "round wall-clock deadline")
+	maxStale := flag.Int("max-staleness", 6, "async: reject updates older than this many versions (0 = unbounded)")
+	queue := flag.Int("queue", 0, "ingest queue depth (default 4x target)")
+	shards := flag.Int("shards", 64, "device registry lock stripes")
+	ttl := flag.Duration("ttl", 2*time.Minute, "device liveness TTL")
+	wifi := flag.Bool("require-wifi", true, "participation criterion A: WiFi")
+	battery := flag.Bool("require-battery", true, "participation criterion B: battery >= 80%")
+	modernOS := flag.Bool("require-modern-os", false, "participation criterion C: modern OS")
+	minSession := flag.Float64("min-session", 0, "minimum expected session seconds")
+	serverLR := flag.Float64("server-lr", 1, "async FedBuff server learning rate")
+	alpha := flag.Float64("alpha", 0.5, "async FedBuff staleness-discount exponent")
+	localSteps := flag.Int("local-steps", 20, "local training steps hint sent to devices")
+	storeDir := flag.String("store-dir", "", "persist published model versions to this directory")
+	keepVersions := flag.Int("keep-versions", 8, "published model versions to retain (negative keeps all)")
+	statusEvery := flag.Duration("status-every", 5*time.Second, "periodic status log interval (0 disables)")
+	flag.Parse()
+
+	m, err := coord.ParseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := coord.Config{
+		Mode:           m,
+		ModelKind:      model.Kind(*kind),
+		ModelName:      *name,
+		Seed:           *seed,
+		TargetUpdates:  *target,
+		Quorum:         *quorum,
+		OverCommit:     *overCommit,
+		RoundDeadline:  *deadline,
+		MaxStaleness:   *maxStale,
+		QueueDepth:     *queue,
+		RegistryShards: *shards,
+		DeviceTTL:      *ttl,
+		Criteria: availability.Criteria{
+			RequireWiFi:        *wifi,
+			RequireBatteryHigh: *battery,
+			RequireModernOS:    *modernOS,
+			MinSessionSec:      *minSession,
+		},
+		ServerLR:       *serverLR,
+		StalenessAlpha: *alpha,
+		LocalSteps:     *localSteps,
+		StoreDir:       *storeDir,
+		KeepVersions:   *keepVersions,
+	}
+	c, err := coord.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	if *statusEvery > 0 {
+		go func() {
+			for range time.Tick(*statusEvery) {
+				st := c.Status()
+				log.Printf("v%d round=%d phase=%s collected=%d/%d devices: %d live, %d eligible, %d assigned",
+					st.Version, st.Round.ID, st.Round.Phase, st.Round.Collected, st.Round.Target,
+					st.Devices.Live, st.Devices.Eligible, st.Devices.Assigned)
+			}
+		}()
+	}
+
+	eff := c.Config()
+	fmt.Printf("flint-server: %s mode, model %s (%d params), target %d, quorum %d, deadline %s\n",
+		eff.Mode, eff.ModelKind, mustParams(eff.ModelKind, eff.Seed),
+		eff.TargetUpdates, eff.Quorum, eff.RoundDeadline)
+	fmt.Printf("listening on %s (POST /v1/checkin, GET /v1/task, POST /v1/update, GET /v1/status)\n", *addr)
+	log.Fatal(coord.NewServer(c).ListenAndServe(*addr))
+}
+
+func mustParams(kind model.Kind, seed int64) int {
+	m, err := model.New(kind, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.NumParams()
+}

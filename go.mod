@@ -1,0 +1,3 @@
+module flint
+
+go 1.24

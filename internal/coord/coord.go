@@ -1,0 +1,191 @@
+// Package coord is the live serving half of the platform: a concurrent,
+// wall-clock federated coordination server that production devices check in
+// to, receive training tasks from, and submit model updates to.
+//
+// It complements internal/fedsim — the virtual-clock what-if simulator of
+// paper §3.4 — by reusing the same engine pieces (aggregator strategies,
+// availability criteria, device profiles, the versioned model store) behind
+// an online API:
+//
+//   - a sharded device registry with striped locks (O(1) check-in and
+//     heartbeat, eligibility filtering via availability.Criteria);
+//   - a round-lifecycle state machine (open → assigning → collecting →
+//     aggregating → committed) driving both synchronous FedAvg and
+//     asynchronous FedBuff rounds;
+//   - an update-ingest pipeline with a bounded queue, per-round quorum and
+//     wall-clock deadline handling, and staleness bounds in async mode;
+//   - model-version publishing through internal/modelstore and serving
+//     counters through internal/metrics.
+//
+// cmd/flint-server runs the coordinator behind a stdlib net/http JSON API
+// (/v1/checkin, /v1/task, /v1/update, /v1/status); cmd/flint-fleet drives it
+// with thousands of goroutine devices drawn from device.BenchPool profiles.
+package coord
+
+import (
+	"fmt"
+	"time"
+
+	"flint/internal/availability"
+	"flint/internal/model"
+)
+
+// Mode selects the training protocol the coordinator runs.
+type Mode string
+
+// The two serving modes, mirroring fedsim's Sync/Async split (§3.4).
+const (
+	ModeSync  Mode = "sync"  // synchronous FedAvg rounds
+	ModeAsync Mode = "async" // asynchronous FedBuff buffer generations
+)
+
+// ParseMode converts a CLI string into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeSync, ModeAsync:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("coord: unknown mode %q (want sync or async)", s)
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Mode is the training protocol (sync FedAvg or async FedBuff).
+	Mode Mode
+	// ModelKind selects the Table 5 architecture to train.
+	ModelKind model.Kind
+	// ModelName is the modelstore name versions are published under.
+	ModelName string
+	// Seed seeds model initialization.
+	Seed int64
+
+	// TargetUpdates is K: the update count that triggers aggregation
+	// (sync round size / async buffer size).
+	TargetUpdates int
+	// Quorum is the minimum update count accepted at a round deadline;
+	// below it the round is abandoned. Defaults to TargetUpdates/2.
+	Quorum int
+	// OverCommit is the sync-mode assignment multiplier: up to
+	// TargetUpdates*OverCommit devices are handed the round's task so
+	// stragglers and dropouts don't stall the round (§3.4).
+	OverCommit float64
+	// MaxInflight caps outstanding async assignments (0 = 4×Target).
+	MaxInflight int
+	// RoundDeadline bounds a round's wall-clock collecting time.
+	RoundDeadline time.Duration
+	// MaxStaleness rejects async updates whose base version lags the
+	// published version by more than this many commits (0 = unbounded).
+	MaxStaleness int
+
+	// QueueDepth bounds the update-ingest queue; a full queue sheds load
+	// with ErrBusy rather than blocking device connections.
+	QueueDepth int
+	// RegistryShards is the striped-lock shard count of the device
+	// registry.
+	RegistryShards int
+	// DeviceTTL is how long after its last check-in/heartbeat a device
+	// still counts as connected.
+	DeviceTTL time.Duration
+	// Criteria gates task assignment (§3.2 participation filtering).
+	Criteria availability.Criteria
+
+	// ServerLR and StalenessAlpha parameterize async FedBuff.
+	ServerLR       float64
+	StalenessAlpha float64
+
+	// LocalSteps is the per-task local training step count hint sent to
+	// devices.
+	LocalSteps int
+	// OmitParams stops tasks embedding the global parameter vector
+	// (clients of large models should fetch out of band).
+	OmitParams bool
+	// StoreDir, when non-empty, persists published versions to disk.
+	StoreDir string
+	// KeepVersions bounds how many published model versions the store
+	// retains (commits prune the oldest). Negative keeps everything;
+	// 0 means the default. Long-running servers need a bound — every
+	// version is a full serialized model.
+	KeepVersions int
+	// HistoryLimit bounds the in-memory committed/abandoned round log.
+	HistoryLimit int
+
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// DefaultConfig returns a small sync-mode serving configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		ModelName:     "served",
+		Seed:          1,
+		TargetUpdates: 16,
+		OverCommit:    1.3,
+		RoundDeadline: 30 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Mode == "" {
+		c.Mode = ModeSync
+	}
+	if c.Mode != ModeSync && c.Mode != ModeAsync {
+		return c, fmt.Errorf("coord: unknown mode %q", c.Mode)
+	}
+	if c.ModelKind == "" {
+		c.ModelKind = model.KindA
+	}
+	if c.ModelName == "" {
+		c.ModelName = "served"
+	}
+	if c.TargetUpdates <= 0 {
+		c.TargetUpdates = 16
+	}
+	if c.Quorum <= 0 {
+		c.Quorum = (c.TargetUpdates + 1) / 2
+	}
+	if c.Quorum > c.TargetUpdates {
+		return c, fmt.Errorf("coord: quorum %d exceeds target %d", c.Quorum, c.TargetUpdates)
+	}
+	if c.OverCommit < 1 {
+		c.OverCommit = 1.3
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4 * c.TargetUpdates
+	}
+	if c.RoundDeadline <= 0 {
+		c.RoundDeadline = 30 * time.Second
+	}
+	if c.MaxStaleness < 0 {
+		return c, fmt.Errorf("coord: negative max staleness %d", c.MaxStaleness)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.TargetUpdates
+	}
+	if c.RegistryShards <= 0 {
+		c.RegistryShards = 64
+	}
+	if c.DeviceTTL <= 0 {
+		c.DeviceTTL = 2 * time.Minute
+	}
+	if c.ServerLR <= 0 {
+		c.ServerLR = 1
+	}
+	if c.StalenessAlpha < 0 {
+		return c, fmt.Errorf("coord: negative staleness alpha %v", c.StalenessAlpha)
+	}
+	if c.LocalSteps <= 0 {
+		c.LocalSteps = 20
+	}
+	if c.KeepVersions == 0 {
+		c.KeepVersions = 8
+	}
+	if c.HistoryLimit <= 0 {
+		c.HistoryLimit = 256
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c, nil
+}

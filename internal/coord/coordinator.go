@@ -1,0 +1,508 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flint/internal/aggregator"
+	"flint/internal/metrics"
+	"flint/internal/model"
+	"flint/internal/modelstore"
+	"flint/internal/tensor"
+)
+
+// Sentinel errors surfaced to transports.
+var (
+	// ErrBusy means the ingest queue is full; the client should back off
+	// and resubmit.
+	ErrBusy = errors.New("coord: ingest queue full")
+	// ErrNoTask means no task is available for the device right now.
+	ErrNoTask = errors.New("coord: no task available")
+	// ErrUnknownDevice means the device never checked in (or was swept).
+	ErrUnknownDevice = errors.New("coord: unknown device")
+	// ErrClosed means the coordinator is shutting down.
+	ErrClosed = errors.New("coord: coordinator closed")
+)
+
+// Task is one unit of device work: train LocalSteps from BaseVersion and
+// send back the delta.
+type Task struct {
+	RoundID     uint64
+	BaseVersion int
+	ModelKind   model.Kind
+	// Dim is the flat parameter count; Params is the global vector at
+	// BaseVersion (nil when the server is configured not to embed it).
+	// The slice is shared and must be treated as read-only.
+	Dim        int
+	Params     tensor.Vector
+	LocalSteps int
+	Deadline   time.Time
+}
+
+// Submission is one device's completed task result.
+type Submission struct {
+	DeviceID    int64
+	RoundID     uint64
+	BaseVersion int
+	Weight      float64
+	Delta       tensor.Vector
+}
+
+// CheckInResult is the coordinator's reply to a device check-in.
+type CheckInResult struct {
+	New      bool
+	Eligible bool
+	Version  int
+	RoundID  uint64
+}
+
+// RoundStatus is the externally visible state of the current round.
+type RoundStatus struct {
+	ID        uint64    `json:"id"`
+	Phase     Phase     `json:"phase"`
+	Base      int       `json:"base_version"`
+	Assigned  int       `json:"assigned"`
+	Collected int       `json:"collected"`
+	Target    int       `json:"target"`
+	Quorum    int       `json:"quorum"`
+	Deadline  time.Time `json:"deadline"`
+}
+
+// StatusReport is the /v1/status payload.
+type StatusReport struct {
+	Mode      Mode             `json:"mode"`
+	ModelKind model.Kind       `json:"model_kind"`
+	ModelName string           `json:"model_name"`
+	Version   int              `json:"version"`
+	Round     RoundStatus      `json:"round"`
+	Devices   Stats            `json:"devices"`
+	Counters  map[string]int64 `json:"counters"`
+	Recent    []RoundSummary   `json:"recent_rounds,omitempty"`
+}
+
+// Coordinator is the live federated training server: it tracks the device
+// fleet in a sharded registry, runs the round lifecycle, folds updates via
+// an aggregator.Strategy, and publishes model versions to the store.
+//
+// Check-in, heartbeat, and task requests are served synchronously; update
+// submissions flow through a bounded queue drained by a single ingest
+// worker, which serializes round mutation and aggregation.
+type Coordinator struct {
+	cfg      Config
+	reg      *Registry
+	store    *modelstore.Store
+	strategy aggregator.Strategy
+	counters *metrics.CounterSet
+
+	// version and roundID mirror the mu-guarded state for lock-free
+	// reads on the check-in path.
+	version atomic.Int64
+	roundID atomic.Uint64
+
+	mu sync.Mutex // guards round, global, published, history
+	// global is the trainable model whose flat params aggregation
+	// mutates.
+	global model.Model
+	// published is an immutable snapshot of the params at `version`;
+	// task responses share it read-only, so serving never copies.
+	published tensor.Vector
+	round     *Round
+	history   []RoundSummary
+
+	ingest chan Submission
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds and starts a coordinator: it initializes the model, publishes
+// version 1, opens round 1, and starts the ingest worker and the deadline
+// watchdog. Call Close to stop.
+func New(cfg Config) (*Coordinator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m, err := model.New(cfg.ModelKind, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	store, err := modelstore.New(cfg.StoreDir)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		reg:      NewRegistry(cfg.RegistryShards, cfg.DeviceTTL),
+		store:    store,
+		counters: metrics.NewCounterSet(),
+		global:   m,
+		ingest:   make(chan Submission, cfg.QueueDepth),
+		done:     make(chan struct{}),
+	}
+	switch cfg.Mode {
+	case ModeSync:
+		c.strategy = aggregator.FedAvg{}
+	case ModeAsync:
+		c.strategy = aggregator.FedBuff{ServerLR: cfg.ServerLR, Alpha: cfg.StalenessAlpha}
+	}
+	v, err := store.Put(cfg.ModelName, m)
+	if err != nil {
+		return nil, err
+	}
+	c.version.Store(int64(v))
+	c.published = m.Params().Clone()
+	c.round = c.newRoundLocked(1, v, cfg.Clock())
+	c.roundID.Store(1)
+	c.wg.Add(2)
+	go c.ingestLoop()
+	go c.watchdog()
+	return c, nil
+}
+
+// newRoundLocked opens the next round against base version v.
+func (c *Coordinator) newRoundLocked(id uint64, v int, now time.Time) *Round {
+	maxAssign := int(float64(c.cfg.TargetUpdates) * c.cfg.OverCommit)
+	if c.cfg.Mode == ModeAsync {
+		maxAssign = c.cfg.MaxInflight
+	}
+	return newRound(id, v, c.cfg.TargetUpdates, c.cfg.Quorum, maxAssign, now, now.Add(c.cfg.RoundDeadline))
+}
+
+// Close stops the ingest worker and watchdog, dropping any queued updates.
+func (c *Coordinator) Close() {
+	if c.closed.CompareAndSwap(false, true) {
+		close(c.done)
+		c.wg.Wait()
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Coordinator) Config() Config { return c.cfg }
+
+// Counters exposes the serving counters.
+func (c *Coordinator) Counters() *metrics.CounterSet { return c.counters }
+
+// Store exposes the versioned model store.
+func (c *Coordinator) Store() *modelstore.Store { return c.store }
+
+// Version returns the latest published model version.
+func (c *Coordinator) Version() int { return int(c.version.Load()) }
+
+// CheckIn registers or refreshes a device and reports its eligibility under
+// the serving criteria. O(1): one shard lock, no coordinator lock.
+func (c *Coordinator) CheckIn(info DeviceInfo) CheckInResult {
+	now := c.cfg.Clock()
+	isNew := c.reg.CheckIn(info, now)
+	c.counters.Counter("checkin_total").Inc()
+	eligible := c.cfg.Criteria.Admit(info.session())
+	if eligible {
+		c.counters.Counter("checkin_eligible").Inc()
+	}
+	return CheckInResult{
+		New:      isNew,
+		Eligible: eligible,
+		Version:  int(c.version.Load()),
+		RoundID:  c.roundID.Load(),
+	}
+}
+
+// Heartbeat refreshes liveness for a checked-in device.
+func (c *Coordinator) Heartbeat(id int64) error {
+	c.counters.Counter("heartbeat_total").Inc()
+	if !c.reg.Heartbeat(id, c.cfg.Clock()) {
+		return ErrUnknownDevice
+	}
+	return nil
+}
+
+// RequestTask hands the device the current round's task if the round has
+// assignment budget and the device is live, idle, and admitted by the
+// criteria. Returns ErrNoTask when the device should poll again later.
+func (c *Coordinator) RequestTask(deviceID int64) (Task, error) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.reg.Get(deviceID); !ok {
+		// Identity errors stay stable regardless of round budget.
+		return Task{}, ErrUnknownDevice
+	}
+	r := c.round
+	if !r.assignable(now) {
+		c.counters.Counter("task_denied_round").Inc()
+		return Task{}, ErrNoTask
+	}
+	if !c.reg.Assign(deviceID, r.ID, c.cfg.Criteria, now) {
+		c.counters.Counter("task_denied_device").Inc()
+		return Task{}, ErrNoTask
+	}
+	if err := r.recordAssignment(deviceID); err != nil {
+		c.reg.Release(deviceID)
+		return Task{}, err
+	}
+	c.counters.Counter("task_assigned").Inc()
+	t := Task{
+		RoundID:     r.ID,
+		BaseVersion: r.BaseVersion,
+		ModelKind:   c.cfg.ModelKind,
+		Dim:         len(c.published),
+		LocalSteps:  c.cfg.LocalSteps,
+		Deadline:    r.Deadline,
+	}
+	if !c.cfg.OmitParams {
+		t.Params = c.published
+	}
+	return t, nil
+}
+
+// SubmitUpdate validates a device update and enqueues it for the ingest
+// worker. A full queue returns ErrBusy (the load-shedding contract: devices
+// retry with backoff rather than stalling the server).
+func (c *Coordinator) SubmitUpdate(sub Submission) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if want := c.global.NumParams(); len(sub.Delta) != want {
+		c.counters.Counter("update_rejected_dim").Inc()
+		return fmt.Errorf("coord: update from device %d has %d params, want %d", sub.DeviceID, len(sub.Delta), want)
+	}
+	select {
+	case c.ingest <- sub:
+		c.counters.Counter("update_enqueued").Inc()
+		return nil
+	default:
+		c.counters.Counter("update_rejected_busy").Inc()
+		return ErrBusy
+	}
+}
+
+// ingestLoop is the single consumer of the update queue: it owns round
+// mutation, aggregation, and publishing, so those never race.
+func (c *Coordinator) ingestLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case sub := <-c.ingest:
+			c.apply(sub)
+		}
+	}
+}
+
+// watchdog enforces round deadlines even when no updates arrive, and
+// periodically garbage-collects departed devices so a long-running server's
+// registry doesn't grow without bound.
+func (c *Coordinator) watchdog() {
+	defer c.wg.Done()
+	period := c.cfg.RoundDeadline / 10
+	if period > 250*time.Millisecond {
+		period = 250 * time.Millisecond
+	}
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	lastSweep := c.cfg.Clock()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+			c.checkDeadline()
+			if now := c.cfg.Clock(); now.Sub(lastSweep) >= c.cfg.DeviceTTL {
+				lastSweep = now
+				if n := c.reg.Sweep(2*c.cfg.DeviceTTL, now); n > 0 {
+					c.counters.Counter("devices_swept").Add(int64(n))
+				}
+			}
+		}
+	}
+}
+
+// apply folds one submission into the current round and triggers
+// aggregation when the round becomes ready.
+func (c *Coordinator) apply(sub Submission) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Each handed-out task is good for exactly one submission: consuming
+	// the assignment here rejects duplicates (client retries after a
+	// timed-out response) and unsolicited updates, either of which would
+	// otherwise let one device over-weight the aggregate.
+	assignedTo, held := c.reg.ConsumeAssignment(sub.DeviceID)
+	if !held {
+		c.counters.Counter("update_rejected_unassigned").Inc()
+		return
+	}
+	r := c.round
+	version := int(c.version.Load())
+	staleness := version - sub.BaseVersion
+	if staleness < 0 {
+		c.counters.Counter("update_rejected_future").Inc()
+		return
+	}
+	if c.cfg.Mode == ModeSync {
+		// Sync rounds only accept their own cohort's updates.
+		if assignedTo != r.ID || sub.RoundID != r.ID || sub.BaseVersion != r.BaseVersion {
+			c.counters.Counter("update_rejected_late").Inc()
+			return
+		}
+	} else if c.cfg.MaxStaleness > 0 && staleness > c.cfg.MaxStaleness {
+		c.counters.Counter("update_rejected_stale").Inc()
+		return
+	}
+	weight := sub.Weight
+	if weight <= 0 {
+		// Fall back to the example count the device reported at
+		// check-in (the aggregator treats a still-missing weight as 1).
+		if info, ok := c.reg.Get(sub.DeviceID); ok {
+			weight = info.Weight
+		}
+	}
+	u := aggregator.Update{
+		ClientID:  sub.DeviceID,
+		Delta:     sub.Delta,
+		Weight:    weight,
+		Staleness: staleness,
+	}
+	if err := r.recordUpdate(u); err != nil {
+		c.counters.Counter("update_rejected_late").Inc()
+		return
+	}
+	c.counters.Counter("update_accepted").Inc()
+	if r.ready(now) {
+		c.commitLocked(now)
+	}
+}
+
+// checkDeadline aggregates a quorum-complete round or abandons a starved
+// one once its deadline passes.
+func (c *Coordinator) checkDeadline() {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.round.ready(now):
+		c.commitLocked(now)
+	case c.round.expired(now):
+		c.abandonLocked(now)
+	}
+}
+
+// commitLocked aggregates the round's updates into the global model,
+// publishes the new version, and opens the next round.
+func (c *Coordinator) commitLocked(now time.Time) {
+	r := c.round
+	if err := r.advance(PhaseAggregating); err != nil {
+		c.counters.Counter("round_fsm_error").Inc()
+		return
+	}
+	if err := c.strategy.Aggregate(c.global.Params(), r.updates); err != nil {
+		// Aggregation failure (dimension drift) dooms the cohort, not
+		// the server: drop the round and keep serving.
+		c.counters.Counter("round_aggregate_error").Inc()
+		_ = r.advance(PhaseAbandoned)
+		c.finishLocked(r, 0, now)
+		return
+	}
+	v, err := c.store.Put(c.cfg.ModelName, c.global)
+	if err != nil {
+		c.counters.Counter("round_publish_error").Inc()
+		_ = r.advance(PhaseAbandoned)
+		c.finishLocked(r, 0, now)
+		return
+	}
+	if err := r.advance(PhaseCommitted); err != nil {
+		c.counters.Counter("round_fsm_error").Inc()
+	}
+	if c.cfg.KeepVersions > 0 {
+		// Versions are sequential, so pruning v-Keep on every commit
+		// retains exactly the newest KeepVersions snapshots.
+		if old := v - c.cfg.KeepVersions; old >= 1 {
+			if c.store.Delete(c.cfg.ModelName, old) == nil {
+				c.counters.Counter("versions_pruned").Inc()
+			}
+		}
+	}
+	c.published = c.global.Params().Clone()
+	c.version.Store(int64(v))
+	c.counters.Counter("rounds_committed").Inc()
+	c.counters.Counter("updates_aggregated").Add(int64(len(r.updates)))
+	c.finishLocked(r, v, now)
+}
+
+// abandonLocked drops a starved round and opens a fresh one on the same
+// base version.
+func (c *Coordinator) abandonLocked(now time.Time) {
+	r := c.round
+	if err := r.advance(PhaseAbandoned); err != nil {
+		c.counters.Counter("round_fsm_error").Inc()
+		return
+	}
+	c.counters.Counter("rounds_abandoned").Inc()
+	c.finishLocked(r, 0, now)
+}
+
+// finishLocked records the terminal round and opens its successor.
+func (c *Coordinator) finishLocked(r *Round, newVersion int, now time.Time) {
+	if c.cfg.Mode == ModeSync {
+		// A terminal sync round voids its outstanding tasks — idle
+		// exactly the devices it assigned (not an O(fleet) scan). In
+		// async mode assignments survive the commit: carry-over
+		// updates are still welcome, and the assignment is consumed
+		// on submission (or overwritten when the device asks for new
+		// work).
+		for _, id := range r.assignedIDs {
+			c.reg.ReleaseIf(id, r.ID)
+		}
+	}
+	c.history = append(c.history, r.summary(newVersion, now))
+	if len(c.history) > c.cfg.HistoryLimit {
+		c.history = c.history[len(c.history)-c.cfg.HistoryLimit:]
+	}
+	c.round = c.newRoundLocked(r.ID+1, int(c.version.Load()), now)
+	c.roundID.Store(r.ID + 1)
+}
+
+// Status reports the coordinator's full serving state (O(fleet): it scans
+// the registry, so it belongs on dashboards, not hot paths).
+func (c *Coordinator) Status() StatusReport {
+	now := c.cfg.Clock()
+	census := c.reg.Census(c.cfg.Criteria, now)
+	c.mu.Lock()
+	r := c.round
+	rs := RoundStatus{
+		ID:        r.ID,
+		Phase:     r.Phase(),
+		Base:      r.BaseVersion,
+		Assigned:  r.Assigned(),
+		Collected: r.Collected(),
+		Target:    r.Target,
+		Quorum:    r.Quorum,
+		Deadline:  r.Deadline,
+	}
+	recent := make([]RoundSummary, 0, 8)
+	if n := len(c.history); n > 0 {
+		lo := n - 8
+		if lo < 0 {
+			lo = 0
+		}
+		recent = append(recent, c.history[lo:]...)
+	}
+	c.mu.Unlock()
+	return StatusReport{
+		Mode:      c.cfg.Mode,
+		ModelKind: c.cfg.ModelKind,
+		ModelName: c.cfg.ModelName,
+		Version:   int(c.version.Load()),
+		Round:     rs,
+		Devices:   census,
+		Counters:  c.counters.Snapshot(),
+		Recent:    recent,
+	}
+}

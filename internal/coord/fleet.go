@@ -1,0 +1,468 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flint/internal/device"
+	"flint/internal/metrics"
+)
+
+// FleetConfig drives a synthetic device fleet against a running coordination
+// server: thousands of goroutine "devices" drawn from the Fig 1 population
+// model (device.BenchPool profiles plus the Zipf long tail) check in, pull
+// tasks, simulate profile-scaled local training, and submit updates until
+// the server commits the requested number of rounds.
+type FleetConfig struct {
+	// BaseURL is the server root, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Devices is the simulated fleet size.
+	Devices int
+	// Rounds is how many committed rounds to drive before stopping.
+	Rounds int
+	// Seed seeds population sampling and per-device behavior.
+	Seed int64
+	// ThinkTime is the mean idle pause between a device's protocol
+	// steps (jittered per device).
+	ThinkTime time.Duration
+	// ComputeScale scales the profile-derived local-training sleep
+	// (0 disables simulated compute entirely).
+	ComputeScale float64
+	// DeltaScale is the magnitude of the synthetic update deltas.
+	DeltaScale float64
+	// Timeout bounds the whole run.
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests inject the httptest
+	// client; the default is tuned for a many-device single-host fleet).
+	Client *http.Client
+}
+
+func (c FleetConfig) withDefaults() (FleetConfig, error) {
+	if c.BaseURL == "" {
+		return c, fmt.Errorf("coord: fleet needs a base URL")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.Devices <= 0 {
+		c.Devices = 1000
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = 20 * time.Millisecond
+	}
+	if c.ComputeScale < 0 {
+		return c, fmt.Errorf("coord: negative compute scale %v", c.ComputeScale)
+	}
+	if c.DeltaScale <= 0 {
+		c.DeltaScale = 0.01
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	if c.Client == nil {
+		tr := &http.Transport{
+			MaxIdleConns:        4096,
+			MaxIdleConnsPerHost: 4096,
+		}
+		c.Client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+	return c, nil
+}
+
+// LatencySummary is one operation's client-observed latency distribution in
+// milliseconds.
+type LatencySummary struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+func summarizeLatency(ms []float64) LatencySummary {
+	if len(ms) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(ms)
+	return LatencySummary{
+		Count: len(ms),
+		P50:   metrics.Quantile(ms, 0.50),
+		P90:   metrics.Quantile(ms, 0.90),
+		P99:   metrics.Quantile(ms, 0.99),
+		Max:   ms[len(ms)-1],
+	}
+}
+
+// FleetReport is the load generator's result.
+type FleetReport struct {
+	Devices         int            `json:"devices"`
+	RoundsCommitted int            `json:"rounds_committed"`
+	StartVersion    int            `json:"start_version"`
+	EndVersion      int            `json:"end_version"`
+	Wall            time.Duration  `json:"wall_ns"`
+	CheckIns        int64          `json:"checkins"`
+	TasksReceived   int64          `json:"tasks_received"`
+	UpdatesAccepted int64          `json:"updates_accepted"`
+	UpdatesRejected int64          `json:"updates_rejected"`
+	NetErrors       int64          `json:"net_errors"`
+	RequestsPerSec  float64        `json:"requests_per_sec"`
+	CheckInLatency  LatencySummary `json:"checkin_latency"`
+	TaskLatency     LatencySummary `json:"task_latency"`
+	UpdateLatency   LatencySummary `json:"update_latency"`
+	// FinalStatus is the server's status snapshot at fleet shutdown.
+	FinalStatus *StatusReport `json:"final_status,omitempty"`
+}
+
+// String renders the operator-facing summary cmd/flint-fleet prints.
+func (r *FleetReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d devices drove v%d → v%d (%d rounds) in %.2fs\n",
+		r.Devices, r.StartVersion, r.EndVersion, r.RoundsCommitted, r.Wall.Seconds())
+	fmt.Fprintf(&b, "  requests: %d check-ins, %d tasks, %d updates accepted, %d rejected, %d net errors (%.0f req/s)\n",
+		r.CheckIns, r.TasksReceived, r.UpdatesAccepted, r.UpdatesRejected, r.NetErrors, r.RequestsPerSec)
+	row := func(name string, l LatencySummary) {
+		fmt.Fprintf(&b, "  %-8s n=%-7d p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms\n",
+			name, l.Count, l.P50, l.P90, l.P99, l.Max)
+	}
+	row("checkin", r.CheckInLatency)
+	row("task", r.TaskLatency)
+	row("update", r.UpdateLatency)
+	return b.String()
+}
+
+// fleetTotals aggregates counters across device goroutines.
+type fleetTotals struct {
+	checkins, tasks, accepted, rejected, netErrs atomic.Int64
+}
+
+// latRecorder collects per-device latencies locally (no cross-goroutine
+// contention) and merges them at shutdown.
+type latRecorder struct {
+	checkin, task, update []float64
+}
+
+type fleetDevice struct {
+	id       int64
+	model    string
+	platform string
+	profile  device.Profile
+	modernOS bool
+	weight   float64
+	rng      *rand.Rand
+	lat      latRecorder
+}
+
+// RunFleet executes the load generator and blocks until the server commits
+// cfg.Rounds rounds (or the timeout fires, which is an error).
+func RunFleet(cfg FleetConfig) (*FleetReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pop := device.DefaultPopulation()
+	pop.Seed = cfg.Seed
+	sampled, err := pop.Sample(cfg.Devices)
+	if err != nil {
+		return nil, err
+	}
+	devs := make([]*fleetDevice, cfg.Devices)
+	for i, s := range sampled {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		devs[i] = &fleetDevice{
+			id:       int64(i + 1),
+			model:    s.Model,
+			platform: string(s.Platform),
+			profile:  s.Profile,
+			modernOS: rng.Float64() < s.Profile.ModernOSProb,
+			weight:   20 + float64(rng.Intn(180)),
+			rng:      rng,
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+	startStatus, err := fetchStatus(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("coord: fleet cannot reach server: %w", err)
+	}
+	targetVersion := startStatus.Version + cfg.Rounds
+
+	var totals fleetTotals
+	var endStatus StatusReport
+	reached := false
+	// Watcher: stop the fleet once the server has committed enough
+	// rounds.
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				st, err := fetchStatus(ctx, cfg)
+				if err != nil {
+					continue
+				}
+				if st.Version >= targetVersion {
+					endStatus, reached = *st, true
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for _, d := range devs {
+		wg.Add(1)
+		go func(d *fleetDevice) {
+			defer wg.Done()
+			d.run(ctx, cfg, &totals)
+		}(d)
+	}
+	wg.Wait()
+	<-watchDone
+	wall := time.Since(start)
+
+	if !reached {
+		if st, err := fetchStatus(context.Background(), cfg); err == nil {
+			endStatus = *st
+			reached = st.Version >= targetVersion
+		} else {
+			// Server unreachable at shutdown (e.g. it crashed): fall
+			// back to the last thing we know rather than a zero
+			// status that would report a negative round count.
+			endStatus = *startStatus
+		}
+	}
+	var checkin, task, update []float64
+	for _, d := range devs {
+		checkin = append(checkin, d.lat.checkin...)
+		task = append(task, d.lat.task...)
+		update = append(update, d.lat.update...)
+	}
+	requests := totals.checkins.Load() + totals.tasks.Load() +
+		totals.accepted.Load() + totals.rejected.Load()
+	rep := &FleetReport{
+		Devices:         cfg.Devices,
+		RoundsCommitted: endStatus.Version - startStatus.Version,
+		StartVersion:    startStatus.Version,
+		EndVersion:      endStatus.Version,
+		Wall:            wall,
+		CheckIns:        totals.checkins.Load(),
+		TasksReceived:   totals.tasks.Load(),
+		UpdatesAccepted: totals.accepted.Load(),
+		UpdatesRejected: totals.rejected.Load(),
+		NetErrors:       totals.netErrs.Load(),
+		RequestsPerSec:  float64(requests) / wall.Seconds(),
+		CheckInLatency:  summarizeLatency(checkin),
+		TaskLatency:     summarizeLatency(task),
+		UpdateLatency:   summarizeLatency(update),
+		FinalStatus:     &endStatus,
+	}
+	if !reached {
+		return rep, fmt.Errorf("coord: fleet timed out at version %d (wanted %d)", endStatus.Version, targetVersion)
+	}
+	return rep, nil
+}
+
+// run is one device's protocol loop: check in with fresh session state,
+// poll for a task, "train" for a profile-scaled interval, submit the delta.
+func (d *fleetDevice) run(ctx context.Context, cfg FleetConfig, totals *fleetTotals) {
+	// Stagger start-up so the fleet doesn't arrive as one spike.
+	if !sleepCtx(ctx, time.Duration(d.rng.Int63n(int64(cfg.ThinkTime)+1))) {
+		return
+	}
+	for {
+		ok, err := d.checkIn(ctx, cfg)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			totals.netErrs.Add(1)
+			if !sleepCtx(ctx, cfg.ThinkTime) {
+				return
+			}
+			continue
+		}
+		totals.checkins.Add(1)
+		if ok {
+			task, err := d.fetchTask(ctx, cfg)
+			if err != nil && ctx.Err() == nil {
+				totals.netErrs.Add(1)
+			}
+			if task != nil {
+				totals.tasks.Add(1)
+				if !sleepCtx(ctx, d.trainTime(task.LocalSteps, cfg.ComputeScale)) {
+					return
+				}
+				accepted, err := d.submit(ctx, cfg, task)
+				switch {
+				case err != nil:
+					if ctx.Err() != nil {
+						return
+					}
+					totals.netErrs.Add(1)
+				case accepted:
+					totals.accepted.Add(1)
+				default:
+					totals.rejected.Add(1)
+				}
+			}
+		}
+		jitter := time.Duration(d.rng.Int63n(int64(cfg.ThinkTime) + 1))
+		if !sleepCtx(ctx, cfg.ThinkTime/2+jitter) {
+			return
+		}
+	}
+}
+
+// trainTime converts the device profile into a simulated local-training
+// duration: slower chips straggle, reproducing the Table 5 spread.
+func (d *fleetDevice) trainTime(steps int, scale float64) time.Duration {
+	if scale == 0 {
+		return 0
+	}
+	perStepMS := 0.05 / d.profile.MatmulGFLOPS
+	return time.Duration(float64(time.Millisecond) * perStepMS * float64(steps) * scale)
+}
+
+func (d *fleetDevice) checkIn(ctx context.Context, cfg FleetConfig) (bool, error) {
+	// Session attributes are re-drawn per check-in: device state changes
+	// between sessions (§3.2), so eligibility flaps realistically.
+	req := CheckInRequest{
+		DeviceID:    d.id,
+		Model:       d.model,
+		Platform:    d.platform,
+		WiFi:        d.rng.Float64() < 0.72,
+		BatteryHigh: d.rng.Float64() < 0.56,
+		ModernOS:    d.modernOS,
+		SessionSec:  30 + d.rng.ExpFloat64()*180,
+		Weight:      d.weight,
+	}
+	var res CheckInResponse
+	t0 := time.Now()
+	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/checkin", req, &res)
+	if err != nil {
+		return false, err
+	}
+	d.lat.checkin = append(d.lat.checkin, msSince(t0))
+	return code == http.StatusOK && res.Eligible, nil
+}
+
+func (d *fleetDevice) fetchTask(ctx context.Context, cfg FleetConfig) (*TaskResponse, error) {
+	var task TaskResponse
+	t0 := time.Now()
+	code, err := doJSON(ctx, cfg.Client, http.MethodGet,
+		fmt.Sprintf("%s/v1/task?device=%d", cfg.BaseURL, d.id), nil, &task)
+	if err != nil {
+		return nil, err
+	}
+	d.lat.task = append(d.lat.task, msSince(t0))
+	if code != http.StatusOK {
+		return nil, nil
+	}
+	return &task, nil
+}
+
+func (d *fleetDevice) submit(ctx context.Context, cfg FleetConfig, task *TaskResponse) (bool, error) {
+	delta := make([]float64, task.Dim)
+	for i := range delta {
+		delta[i] = d.rng.NormFloat64() * cfg.DeltaScale
+	}
+	req := UpdateRequest{
+		DeviceID:    d.id,
+		RoundID:     task.RoundID,
+		BaseVersion: task.BaseVersion,
+		Weight:      d.weight,
+		Delta:       delta,
+	}
+	var res UpdateResponse
+	t0 := time.Now()
+	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/update", req, &res)
+	if err != nil {
+		return false, err
+	}
+	d.lat.update = append(d.lat.update, msSince(t0))
+	return code == http.StatusAccepted && res.Accepted, nil
+}
+
+func fetchStatus(ctx context.Context, cfg FleetConfig) (*StatusReport, error) {
+	var st StatusReport
+	code, err := doJSON(ctx, cfg.Client, http.MethodGet, cfg.BaseURL+"/v1/status", nil, &st)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("coord: status returned HTTP %d", code)
+	}
+	return &st, nil
+}
+
+// doJSON issues one JSON request and decodes the body when the status code
+// carries one. It returns the status code so callers can branch on protocol
+// outcomes (204 no task, 409 late, 503 shed) without treating them as
+// transport errors.
+func doJSON(ctx context.Context, client *http.Client, method, url string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, nil
+}
+
+func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }
+
+// sleepCtx sleeps for d unless the context ends first; it reports whether
+// the fleet should keep running.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

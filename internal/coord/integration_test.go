@@ -1,0 +1,195 @@
+package coord
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flint/internal/availability"
+	"flint/internal/model"
+)
+
+// TestFleetEndToEnd drives a fleet of goroutine devices through a live
+// httptest server until at least 3 rounds commit, in both serving modes.
+// Run with -race: this is the subsystem's concurrency gauntlet.
+func TestFleetEndToEnd(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{
+			name: "SyncFedAvg",
+			cfg: Config{
+				Mode:          ModeSync,
+				ModelKind:     model.KindA,
+				Seed:          1,
+				TargetUpdates: 12,
+				Quorum:        4,
+				OverCommit:    2,
+				RoundDeadline: 5 * time.Second,
+				QueueDepth:    128,
+				KeepVersions:  -1,
+				Criteria:      availability.Criteria{RequireWiFi: true},
+			},
+		},
+		{
+			name: "AsyncFedBuff",
+			cfg: Config{
+				Mode:           ModeAsync,
+				ModelKind:      model.KindA,
+				Seed:           1,
+				TargetUpdates:  12,
+				Quorum:         4,
+				MaxInflight:    256,
+				RoundDeadline:  5 * time.Second,
+				MaxStaleness:   4,
+				StalenessAlpha: 0.5,
+				QueueDepth:     128,
+				KeepVersions:   -1,
+				Criteria:       availability.Criteria{RequireWiFi: true},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			srv := httptest.NewServer(NewServer(c))
+			defer srv.Close()
+
+			rep, err := RunFleet(FleetConfig{
+				BaseURL:      srv.URL,
+				Devices:      150,
+				Rounds:       3,
+				Seed:         7,
+				ThinkTime:    15 * time.Millisecond,
+				ComputeScale: 0.2,
+				Timeout:      90 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("fleet: %v (report: %+v)", err, rep)
+			}
+			if rep.RoundsCommitted < 3 {
+				t.Fatalf("committed %d rounds, want >= 3", rep.RoundsCommitted)
+			}
+			if rep.UpdatesAccepted < int64(3*tc.cfg.Quorum) {
+				t.Fatalf("only %d updates accepted", rep.UpdatesAccepted)
+			}
+			if rep.CheckInLatency.Count == 0 || rep.UpdateLatency.Count == 0 {
+				t.Fatalf("latency histograms empty: %+v", rep)
+			}
+			// The published model moved: aggregation really ran.
+			final, v, err := c.Store().Latest(c.Config().ModelName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 4 {
+				t.Fatalf("store latest version = %d, want >= 4", v)
+			}
+			init, err := c.Store().Get(c.Config().ModelName, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff := final.Params().Clone()
+			diff.Sub(init.Params())
+			if diff.Norm2() == 0 {
+				t.Fatal("model parameters unchanged after 3 committed rounds")
+			}
+		})
+	}
+}
+
+// TestServerProtocolEdges exercises the wire-level error contract directly.
+func TestServerProtocolEdges(t *testing.T) {
+	c, err := New(Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          1,
+		TargetUpdates: 4,
+		Quorum:        2,
+		RoundDeadline: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	client := srv.Client()
+
+	// Task for a device that never checked in → 404.
+	resp, err := client.Get(srv.URL + "/v1/task?device=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("task for unknown device: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed check-in → 400.
+	resp, err = client.Post(srv.URL+"/v1/checkin", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed check-in: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Valid check-in → eligible with version/round info.
+	body, _ := json.Marshal(CheckInRequest{DeviceID: 42, Model: "Pixel-6", WiFi: true, BatteryHigh: true, SessionSec: 120})
+	resp, err = client.Post(srv.URL+"/v1/checkin", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ci CheckInResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ci); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !ci.Eligible || ci.Version != 1 || ci.RoundID != 1 {
+		t.Fatalf("check-in response = %+v", ci)
+	}
+
+	// Update with wrong dimensionality → 400.
+	body, _ = json.Marshal(UpdateRequest{DeviceID: 42, RoundID: 1, BaseVersion: 1, Weight: 1, Delta: []float64{1, 2, 3}})
+	resp, err = client.Post(srv.URL+"/v1/update", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-dim update: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong HTTP method → 405.
+	resp, err = client.Get(srv.URL + "/v1/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/update: HTTP %d, want 405", resp.StatusCode)
+	}
+
+	// Status reflects the census.
+	resp, err = client.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatusReport
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Devices.Known != 1 || st.Round.ID != 1 || st.Mode != ModeSync {
+		t.Fatalf("status = %+v", st)
+	}
+}

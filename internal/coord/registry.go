@@ -1,0 +1,255 @@
+package coord
+
+import (
+	"sync"
+	"time"
+
+	"flint/internal/availability"
+)
+
+// DeviceInfo is the device-reported state carried by a check-in or
+// heartbeat: identity, hardware model, and the session attributes the
+// participation criteria filter on (§3.2).
+type DeviceInfo struct {
+	ID          int64
+	Model       string
+	Platform    string
+	WiFi        bool
+	BatteryHigh bool
+	ModernOS    bool
+	// SessionSec is the device's expected remaining foreground-session
+	// length, matched against Criteria.MinSessionSec.
+	SessionSec float64
+	// Weight is the device's local example count, used as the fallback
+	// aggregation weight when a submission omits its own.
+	Weight float64
+}
+
+// session converts the reported state into the availability.Session shape
+// Criteria.Admit understands.
+func (d DeviceInfo) session() availability.Session {
+	return availability.Session{
+		ClientID:    d.ID,
+		Device:      d.Model,
+		WiFi:        d.WiFi,
+		BatteryHigh: d.BatteryHigh,
+		ModernOS:    d.ModernOS,
+		Start:       0,
+		End:         d.SessionSec,
+	}
+}
+
+type deviceState struct {
+	info     DeviceInfo
+	lastSeen time.Time
+	// assignedRound is the round the device currently holds a task for
+	// (0 = idle).
+	assignedRound uint64
+}
+
+// regShard is one lock stripe of the registry. Padding is omitted: shards
+// hold maps, so false sharing on the header is negligible next to map work.
+type regShard struct {
+	mu   sync.Mutex
+	devs map[int64]*deviceState
+}
+
+// Registry is a sharded in-memory device registry: check-in, heartbeat, and
+// assignment bookkeeping are O(1) map operations under a per-shard mutex, so
+// concurrent device traffic spreads across stripes instead of serializing on
+// one lock.
+type Registry struct {
+	shards []regShard
+	ttl    time.Duration
+}
+
+// NewRegistry creates a registry with the given stripe count and liveness
+// TTL.
+func NewRegistry(shards int, ttl time.Duration) *Registry {
+	if shards <= 0 {
+		shards = 64
+	}
+	r := &Registry{shards: make([]regShard, shards), ttl: ttl}
+	for i := range r.shards {
+		r.shards[i].devs = make(map[int64]*deviceState)
+	}
+	return r
+}
+
+// shard hashes a device ID onto a stripe (Fibonacci multiplicative hash so
+// sequential IDs still spread).
+func (r *Registry) shard(id int64) *regShard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &r.shards[h%uint64(len(r.shards))]
+}
+
+// CheckIn upserts a device's state and stamps it live. It returns true if
+// the device was new.
+func (r *Registry) CheckIn(info DeviceInfo, now time.Time) bool {
+	s := r.shard(info.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[info.ID]
+	if !ok {
+		s.devs[info.ID] = &deviceState{info: info, lastSeen: now}
+		return true
+	}
+	d.info = info
+	d.lastSeen = now
+	return false
+}
+
+// Heartbeat refreshes a device's liveness without changing its reported
+// state. It returns false for unknown devices (they must check in first).
+func (r *Registry) Heartbeat(id int64, now time.Time) bool {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[id]
+	if !ok {
+		return false
+	}
+	d.lastSeen = now
+	return true
+}
+
+// Get returns a device's last reported state.
+func (r *Registry) Get(id int64) (DeviceInfo, bool) {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[id]
+	if !ok {
+		return DeviceInfo{}, false
+	}
+	return d.info, true
+}
+
+// Eligible reports whether the device is known, live at now, idle, and
+// admitted by the criteria: the read-only view of the predicate Assign
+// applies atomically on the task-assignment path (tests and diagnostics
+// use this; serving uses Assign).
+func (r *Registry) Eligible(id int64, c availability.Criteria, now time.Time) bool {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[id]
+	if !ok || d.assignedRound != 0 || !r.live(d, now) {
+		return false
+	}
+	return c.Admit(d.info.session())
+}
+
+// Assign marks a live, admitted device as holding a task for round. It
+// returns false if the device is unknown, stale, filtered, or already
+// assigned — except that an assignment left over from an older round is
+// overwritten: the device asking for new work means it abandoned the old
+// task, and abandoned assignments must not pin devices forever.
+func (r *Registry) Assign(id int64, round uint64, c availability.Criteria, now time.Time) bool {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[id]
+	if !ok || d.assignedRound >= round || !r.live(d, now) || !c.Admit(d.info.session()) {
+		return false
+	}
+	d.assignedRound = round
+	d.lastSeen = now
+	return true
+}
+
+// ConsumeAssignment atomically clears and returns the device's current
+// assignment. ok is false when the device is unknown or holds no task —
+// which is how duplicate and unsolicited submissions are rejected: each
+// handed-out task is good for exactly one submission.
+func (r *Registry) ConsumeAssignment(id int64) (round uint64, ok bool) {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[id]
+	if !ok || d.assignedRound == 0 {
+		return 0, false
+	}
+	round = d.assignedRound
+	d.assignedRound = 0
+	return round, true
+}
+
+// Release returns a device to the idle pool (after its update is ingested,
+// its round ends, or its task is abandoned).
+func (r *Registry) Release(id int64) {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.devs[id]; ok {
+		d.assignedRound = 0
+	}
+}
+
+// ReleaseIf idles the device only if it still holds a task for round,
+// leaving newer assignments untouched.
+func (r *Registry) ReleaseIf(id int64, round uint64) {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.devs[id]; ok && d.assignedRound == round {
+		d.assignedRound = 0
+	}
+}
+
+func (r *Registry) live(d *deviceState, now time.Time) bool {
+	return r.ttl <= 0 || now.Sub(d.lastSeen) <= r.ttl
+}
+
+// Stats is a point-in-time census of the registry.
+type Stats struct {
+	Known    int // devices ever checked in and not swept
+	Live     int // within the liveness TTL
+	Eligible int // live, idle, and admitted by the criteria
+	Assigned int // currently holding a task
+}
+
+// Census scans the registry (O(n), for /v1/status — the serving paths never
+// call it).
+func (r *Registry) Census(c availability.Criteria, now time.Time) Stats {
+	var st Stats
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		st.Known += len(s.devs)
+		for _, d := range s.devs {
+			if !r.live(d, now) {
+				continue
+			}
+			st.Live++
+			if d.assignedRound != 0 {
+				st.Assigned++
+			} else if c.Admit(d.info.session()) {
+				st.Eligible++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Sweep drops devices unseen past keep and returns how many were removed;
+// production registries garbage-collect departed devices periodically. A
+// held assignment does not protect a dead device — its task is void (a
+// post-sweep submission is rejected as unassigned), and sparing it would
+// let async-mode dropouts pin registry entries forever.
+func (r *Registry) Sweep(keep time.Duration, now time.Time) int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for id, d := range s.devs {
+			if now.Sub(d.lastSeen) > keep {
+				delete(s.devs, id)
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}

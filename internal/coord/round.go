@@ -1,0 +1,188 @@
+package coord
+
+import (
+	"fmt"
+	"time"
+
+	"flint/internal/aggregator"
+)
+
+// Phase is a round's position in its lifecycle state machine.
+type Phase string
+
+// The round lifecycle. A round opens against a base model version, hands
+// its task to devices while assigning, collects their updates, aggregates
+// once it has enough, and commits a new version — or is abandoned if the
+// deadline passes below quorum.
+const (
+	PhaseOpen        Phase = "open"
+	PhaseAssigning   Phase = "assigning"
+	PhaseCollecting  Phase = "collecting"
+	PhaseAggregating Phase = "aggregating"
+	PhaseCommitted   Phase = "committed"
+	PhaseAbandoned   Phase = "abandoned"
+)
+
+// validNext encodes the legal lifecycle transitions.
+var validNext = map[Phase][]Phase{
+	PhaseOpen:        {PhaseAssigning, PhaseAbandoned},
+	PhaseAssigning:   {PhaseCollecting, PhaseAbandoned},
+	PhaseCollecting:  {PhaseAggregating, PhaseAbandoned},
+	PhaseAggregating: {PhaseCommitted, PhaseAbandoned}, // abandoned on aggregate/publish failure
+	PhaseCommitted:   nil,
+	PhaseAbandoned:   nil,
+}
+
+// Terminal reports whether the phase ends the round.
+func (p Phase) Terminal() bool { return p == PhaseCommitted || p == PhaseAbandoned }
+
+// Round is one unit of the training lifecycle: a sync FedAvg round or one
+// async FedBuff buffer generation. It is not internally synchronized — the
+// coordinator serializes access under its state lock.
+type Round struct {
+	// ID is a monotonically increasing round number (1-based).
+	ID uint64
+	// BaseVersion is the published model version the round trains from.
+	BaseVersion int
+	// Target is K: updates needed to aggregate immediately.
+	Target int
+	// Quorum is the minimum accepted at the deadline.
+	Quorum int
+	// MaxAssign caps how many devices may hold this round's task.
+	MaxAssign int
+	// Deadline bounds the round's wall-clock lifetime.
+	Deadline time.Time
+	// Opened is when the round opened.
+	Opened time.Time
+
+	phase Phase
+	// assignedIDs records which devices hold this round's task, so
+	// terminal cleanup releases exactly those instead of scanning the
+	// whole registry.
+	assignedIDs []int64
+	updates     []aggregator.Update
+}
+
+// newRound opens a round in PhaseOpen.
+func newRound(id uint64, baseVersion int, target, quorum, maxAssign int, opened time.Time, deadline time.Time) *Round {
+	return &Round{
+		ID:          id,
+		BaseVersion: baseVersion,
+		Target:      target,
+		Quorum:      quorum,
+		MaxAssign:   maxAssign,
+		Opened:      opened,
+		Deadline:    deadline,
+		phase:       PhaseOpen,
+		updates:     make([]aggregator.Update, 0, target),
+	}
+}
+
+// Phase returns the current lifecycle phase.
+func (r *Round) Phase() Phase { return r.phase }
+
+// Assigned returns how many devices hold this round's task.
+func (r *Round) Assigned() int { return len(r.assignedIDs) }
+
+// Collected returns how many updates the round holds.
+func (r *Round) Collected() int { return len(r.updates) }
+
+// advance moves the round to phase to, validating the transition.
+func (r *Round) advance(to Phase) error {
+	for _, ok := range validNext[r.phase] {
+		if ok == to {
+			r.phase = to
+			return nil
+		}
+	}
+	return fmt.Errorf("coord: round %d: illegal transition %s → %s", r.ID, r.phase, to)
+}
+
+// assignable reports whether the round can hand out another task at now.
+func (r *Round) assignable(now time.Time) bool {
+	switch r.phase {
+	case PhaseOpen, PhaseAssigning, PhaseCollecting:
+	default:
+		return false
+	}
+	return len(r.assignedIDs) < r.MaxAssign && now.Before(r.Deadline)
+}
+
+// recordAssignment counts one handed-out task, advancing open → assigning on
+// the first.
+func (r *Round) recordAssignment(deviceID int64) error {
+	if r.phase == PhaseOpen {
+		if err := r.advance(PhaseAssigning); err != nil {
+			return err
+		}
+	}
+	r.assignedIDs = append(r.assignedIDs, deviceID)
+	return nil
+}
+
+// accepting reports whether the round can ingest an update. PhaseOpen
+// qualifies because async buffers accept carry-over updates from devices
+// assigned in a previous generation before anyone joins the new one.
+func (r *Round) accepting() bool {
+	return r.phase == PhaseOpen || r.phase == PhaseAssigning || r.phase == PhaseCollecting
+}
+
+// recordUpdate buffers one device update, walking the lifecycle forward to
+// collecting. The caller has already validated round ID and staleness.
+func (r *Round) recordUpdate(u aggregator.Update) error {
+	if !r.accepting() {
+		return fmt.Errorf("coord: round %d not accepting updates in phase %s", r.ID, r.phase)
+	}
+	for r.phase != PhaseCollecting {
+		next := PhaseAssigning
+		if r.phase == PhaseAssigning {
+			next = PhaseCollecting
+		}
+		if err := r.advance(next); err != nil {
+			return err
+		}
+	}
+	r.updates = append(r.updates, u)
+	return nil
+}
+
+// ready reports whether the round should aggregate now: it reached its
+// target, or its deadline passed with quorum met.
+func (r *Round) ready(now time.Time) bool {
+	if !r.accepting() {
+		return false
+	}
+	if len(r.updates) >= r.Target {
+		return true
+	}
+	return !now.Before(r.Deadline) && len(r.updates) >= r.Quorum
+}
+
+// expired reports whether the deadline passed below quorum, dooming the
+// round.
+func (r *Round) expired(now time.Time) bool {
+	return !r.phase.Terminal() && !now.Before(r.Deadline) && len(r.updates) < r.Quorum
+}
+
+// RoundSummary is the retained record of a finished round.
+type RoundSummary struct {
+	ID          uint64        `json:"id"`
+	Phase       Phase         `json:"phase"`
+	BaseVersion int           `json:"base_version"`
+	NewVersion  int           `json:"new_version,omitempty"`
+	Assigned    int           `json:"assigned"`
+	Updates     int           `json:"updates"`
+	Duration    time.Duration `json:"duration_ns"`
+}
+
+func (r *Round) summary(newVersion int, now time.Time) RoundSummary {
+	return RoundSummary{
+		ID:          r.ID,
+		Phase:       r.phase,
+		BaseVersion: r.BaseVersion,
+		NewVersion:  newVersion,
+		Assigned:    len(r.assignedIDs),
+		Updates:     len(r.updates),
+		Duration:    now.Sub(r.Opened),
+	}
+}

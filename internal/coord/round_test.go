@@ -1,0 +1,147 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"flint/internal/aggregator"
+	"flint/internal/tensor"
+)
+
+func testRound(target, quorum, maxAssign int) *Round {
+	opened := time.Unix(1000, 0)
+	return newRound(1, 1, target, quorum, maxAssign, opened, opened.Add(time.Minute))
+}
+
+func upd(id int64) aggregator.Update {
+	return aggregator.Update{ClientID: id, Delta: tensor.Vector{0}, Weight: 1}
+}
+
+func TestRoundLifecycleHappyPath(t *testing.T) {
+	r := testRound(2, 1, 4)
+	if r.Phase() != PhaseOpen {
+		t.Fatalf("new round phase = %s, want open", r.Phase())
+	}
+	now := r.Opened
+	if !r.assignable(now) {
+		t.Fatal("fresh round should be assignable")
+	}
+	if err := r.recordAssignment(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Phase() != PhaseAssigning {
+		t.Fatalf("after first assignment phase = %s, want assigning", r.Phase())
+	}
+	if err := r.recordUpdate(upd(1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Phase() != PhaseCollecting {
+		t.Fatalf("after first update phase = %s, want collecting", r.Phase())
+	}
+	if r.ready(now) {
+		t.Fatal("round below target and deadline should not be ready")
+	}
+	if err := r.recordUpdate(upd(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.ready(now) {
+		t.Fatal("round at target should be ready")
+	}
+	if err := r.advance(PhaseAggregating); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.advance(PhaseCommitted); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Phase().Terminal() {
+		t.Fatal("committed should be terminal")
+	}
+}
+
+func TestRoundIllegalTransitions(t *testing.T) {
+	r := testRound(2, 1, 4)
+	// Straight to committed from open is illegal.
+	if err := r.advance(PhaseCommitted); err == nil {
+		t.Fatal("open → committed should be rejected")
+	}
+	if err := r.advance(PhaseAggregating); err == nil {
+		t.Fatal("open → aggregating should be rejected")
+	}
+	// Terminal rounds reject everything.
+	if err := r.advance(PhaseAbandoned); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Phase{PhaseOpen, PhaseAssigning, PhaseCollecting, PhaseAggregating, PhaseCommitted} {
+		if err := r.advance(p); err == nil {
+			t.Fatalf("abandoned → %s should be rejected", p)
+		}
+	}
+	if err := r.recordUpdate(upd(1)); err == nil {
+		t.Fatal("abandoned round accepted an update")
+	}
+}
+
+func TestRoundOpenAcceptsCarryOverUpdate(t *testing.T) {
+	// Async buffers ingest updates from devices assigned in a previous
+	// generation before anyone joins the new round.
+	r := testRound(4, 1, 8)
+	if err := r.recordUpdate(upd(9)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Phase() != PhaseCollecting {
+		t.Fatalf("phase = %s, want collecting", r.Phase())
+	}
+}
+
+func TestRoundQuorumAndDeadline(t *testing.T) {
+	r := testRound(4, 2, 8)
+	now := r.Opened
+	after := r.Deadline.Add(time.Second)
+
+	if err := r.recordUpdate(upd(1)); err != nil {
+		t.Fatal(err)
+	}
+	// One update: below quorum — not ready, expired once past deadline.
+	if r.ready(after) {
+		t.Fatal("below-quorum round should not be ready at deadline")
+	}
+	if !r.expired(after) {
+		t.Fatal("below-quorum round should be expired past its deadline")
+	}
+	if r.expired(now) {
+		t.Fatal("round should not be expired before its deadline")
+	}
+
+	if err := r.recordUpdate(upd(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Quorum met: ready at deadline, no longer expired.
+	if r.ready(now) {
+		t.Fatal("quorum-but-below-target round is not ready before deadline")
+	}
+	if !r.ready(after) {
+		t.Fatal("quorum round should be ready past its deadline")
+	}
+	if r.expired(after) {
+		t.Fatal("quorum round should not expire")
+	}
+}
+
+func TestRoundAssignmentBudget(t *testing.T) {
+	r := testRound(2, 1, 2)
+	now := r.Opened
+	for i := 0; i < 2; i++ {
+		if !r.assignable(now) {
+			t.Fatalf("round should be assignable at %d/%d", r.Assigned(), r.MaxAssign)
+		}
+		if err := r.recordAssignment(int64(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.assignable(now) {
+		t.Fatal("round past MaxAssign should not be assignable")
+	}
+	if r.assignable(r.Deadline) {
+		t.Fatal("round at deadline should not be assignable")
+	}
+}

@@ -1,0 +1,215 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flint/internal/tensor"
+)
+
+// Wire types of the /v1 JSON API. Field names are the protocol; keep them
+// stable.
+
+// CheckInRequest is the POST /v1/checkin body.
+type CheckInRequest struct {
+	DeviceID    int64   `json:"device_id"`
+	Model       string  `json:"model"`
+	Platform    string  `json:"platform"`
+	WiFi        bool    `json:"wifi"`
+	BatteryHigh bool    `json:"battery_high"`
+	ModernOS    bool    `json:"modern_os"`
+	SessionSec  float64 `json:"session_sec"`
+	Weight      float64 `json:"weight"`
+}
+
+// CheckInResponse is the POST /v1/checkin reply.
+type CheckInResponse struct {
+	New      bool   `json:"new"`
+	Eligible bool   `json:"eligible"`
+	Version  int    `json:"model_version"`
+	RoundID  uint64 `json:"round_id"`
+}
+
+// TaskResponse is the GET /v1/task reply (200 only; 204 means no task).
+type TaskResponse struct {
+	RoundID     uint64    `json:"round_id"`
+	BaseVersion int       `json:"base_version"`
+	ModelKind   string    `json:"model_kind"`
+	Dim         int       `json:"dim"`
+	Params      []float64 `json:"params,omitempty"`
+	LocalSteps  int       `json:"local_steps"`
+	DeadlineMS  int64     `json:"deadline_unix_ms"`
+}
+
+// UpdateRequest is the POST /v1/update body.
+type UpdateRequest struct {
+	DeviceID    int64     `json:"device_id"`
+	RoundID     uint64    `json:"round_id"`
+	BaseVersion int       `json:"base_version"`
+	Weight      float64   `json:"weight"`
+	Delta       []float64 `json:"delta"`
+}
+
+// UpdateResponse is the POST /v1/update reply.
+type UpdateResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server adapts a Coordinator to the stdlib HTTP stack.
+type Server struct {
+	c   *Coordinator
+	mux *http.ServeMux
+}
+
+// NewServer wraps the coordinator in its /v1 JSON API.
+func NewServer(c *Coordinator) *Server {
+	s := &Server{c: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/checkin", s.handleCheckIn)
+	s.mux.HandleFunc("POST /v1/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("GET /v1/task", s.handleTask)
+	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
+	var req CheckInRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad check-in body: %w", err))
+		return
+	}
+	res := s.c.CheckIn(DeviceInfo{
+		ID:          req.DeviceID,
+		Model:       req.Model,
+		Platform:    req.Platform,
+		WiFi:        req.WiFi,
+		BatteryHigh: req.BatteryHigh,
+		ModernOS:    req.ModernOS,
+		SessionSec:  req.SessionSec,
+		Weight:      req.Weight,
+	})
+	writeJSON(w, http.StatusOK, CheckInResponse{
+		New:      res.New,
+		Eligible: res.Eligible,
+		Version:  res.Version,
+		RoundID:  res.RoundID,
+	})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id, err := deviceID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.c.Heartbeat(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	id, err := deviceID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := s.c.RequestTask(id)
+	switch {
+	case errors.Is(err, ErrNoTask):
+		w.WriteHeader(http.StatusNoContent)
+		return
+	case errors.Is(err, ErrUnknownDevice):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TaskResponse{
+		RoundID:     t.RoundID,
+		BaseVersion: t.BaseVersion,
+		ModelKind:   string(t.ModelKind),
+		Dim:         t.Dim,
+		Params:      t.Params,
+		LocalSteps:  t.LocalSteps,
+		DeadlineMS:  t.Deadline.UnixMilli(),
+	})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
+		return
+	}
+	err := s.c.SubmitUpdate(Submission{
+		DeviceID:    req.DeviceID,
+		RoundID:     req.RoundID,
+		BaseVersion: req.BaseVersion,
+		Weight:      req.Weight,
+		Delta:       tensor.Vector(req.Delta),
+	})
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, UpdateResponse{Accepted: true})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.c.Status())
+}
+
+func deviceID(r *http.Request) (int64, error) {
+	raw := r.URL.Query().Get("device")
+	if raw == "" {
+		return 0, fmt.Errorf("missing device parameter")
+	}
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad device id %q: %w", raw, err)
+	}
+	return id, nil
+}
+
+// ListenAndServe runs the API on addr until the server errors; it mirrors
+// http.ListenAndServe with sane timeouts for a long-polling device fleet.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

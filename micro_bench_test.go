@@ -4,11 +4,16 @@
 package flint_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"flint/internal/aggregator"
+	"flint/internal/coord"
 	"flint/internal/core"
 	"flint/internal/data"
 	"flint/internal/fedsim"
@@ -120,6 +125,123 @@ func BenchmarkSecAggMaskedSum(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ------------------------------------------------- coord serving hot paths
+
+// BenchmarkCoordCheckin measures device check-in throughput on the live
+// coordination server's sharded registry (the O(1) fleet-facing path).
+func BenchmarkCoordCheckin(b *testing.B) {
+	c, err := coord.New(coord.Config{
+		Mode:          coord.ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          1,
+		TargetUpdates: 1 << 20, // never aggregate during the bench
+		Quorum:        1 << 20,
+		RoundDeadline: time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := next.Add(1)
+		info := coord.DeviceInfo{
+			ID: id, Model: "Pixel-6", Platform: "Android",
+			WiFi: true, BatteryHigh: true, ModernOS: true,
+			SessionSec: 120, Weight: 40,
+		}
+		for pb.Next() {
+			c.CheckIn(info)
+		}
+	})
+}
+
+// BenchmarkCoordUpdateSubmit measures the device contribution path end to
+// end: task assignment plus update submission through the bounded ingest
+// queue, including the worker's FedBuff folds every 64 accepted updates.
+// Each handed-out task is good for exactly one submission, so the loop must
+// re-request a task per update — exactly what a real device does.
+func BenchmarkCoordUpdateSubmit(b *testing.B) {
+	c, err := coord.New(coord.Config{
+		Mode:           coord.ModeAsync,
+		ModelKind:      model.KindA,
+		Seed:           1,
+		TargetUpdates:  64,
+		Quorum:         64,
+		MaxInflight:    1 << 20,
+		RoundDeadline:  time.Hour,
+		QueueDepth:     1024,
+		StalenessAlpha: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	dim := 1519 // model A
+	delta := tensor.NewVector(dim)
+	for i := range delta {
+		delta[i] = 0.001
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := next.Add(1)
+		c.CheckIn(coord.DeviceInfo{
+			ID: id, Model: "Pixel-6", Platform: "Android",
+			WiFi: true, BatteryHigh: true, ModernOS: true,
+			SessionSec: 3600, Weight: 10,
+		})
+		for pb.Next() {
+			// The previous submission may still be in the queue, with
+			// the assignment not yet consumed: ErrNoTask here is the
+			// pipeline's backpressure, so yield and retry.
+			var task coord.Task
+			for {
+				t, err := c.RequestTask(id)
+				if err == nil {
+					task = t
+					break
+				}
+				if !errors.Is(err, coord.ErrNoTask) {
+					b.Error(err)
+					return
+				}
+				runtime.Gosched()
+			}
+			sub := coord.Submission{
+				DeviceID:    id,
+				RoundID:     task.RoundID,
+				BaseVersion: task.BaseVersion,
+				Weight:      10,
+				Delta:       delta,
+			}
+			// A full queue is backpressure, not failure: yield and retry,
+			// so the bench measures sustainable ingest throughput.
+			for {
+				err := c.SubmitUpdate(sub)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, coord.ErrBusy) {
+					b.Error(err)
+					return
+				}
+				runtime.Gosched()
+			}
+		}
+	})
+	b.StopTimer()
+	accepted := c.Counters().Counter("update_accepted").Value()
+	committed := c.Counters().Counter("rounds_committed").Value()
+	if b.N > 64 && accepted == 0 {
+		b.Fatal("no updates accepted: benchmark is measuring the rejection path")
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "commits/sec")
 }
 
 // -------------------------------------------------------------- ablations

@@ -1,0 +1,44 @@
+package flint
+
+import (
+	"net/http"
+
+	"flint/internal/coord"
+)
+
+// Live serving (the production half of the platform): a wall-clock
+// federated coordination server plus a fleet load generator. See
+// internal/coord and DESIGN.md §6.
+type (
+	// Coordinator is the live federated training server.
+	Coordinator = coord.Coordinator
+	// CoordConfig parameterizes a Coordinator.
+	CoordConfig = coord.Config
+	// CoordMode selects sync FedAvg or async FedBuff serving.
+	CoordMode = coord.Mode
+	// CoordStatus is the coordinator's status snapshot.
+	CoordStatus = coord.StatusReport
+	// FleetConfig drives the synthetic device fleet.
+	FleetConfig = coord.FleetConfig
+	// FleetReport is the load generator's result.
+	FleetReport = coord.FleetReport
+)
+
+// Serving modes.
+const (
+	CoordSync  = coord.ModeSync
+	CoordAsync = coord.ModeAsync
+)
+
+// DefaultCoordConfig returns a small sync-mode serving configuration.
+func DefaultCoordConfig() CoordConfig { return coord.DefaultConfig() }
+
+// NewCoordinator builds and starts a coordination server; Close it when
+// done.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) { return coord.New(cfg) }
+
+// CoordHandler wraps a coordinator in its /v1 JSON API.
+func CoordHandler(c *Coordinator) http.Handler { return coord.NewServer(c) }
+
+// RunFleet drives a simulated device fleet against a running server.
+func RunFleet(cfg FleetConfig) (*FleetReport, error) { return coord.RunFleet(cfg) }

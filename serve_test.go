@@ -1,0 +1,48 @@
+package flint_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"flint"
+)
+
+// TestServingFacade exercises the live-serving exports end to end: start a
+// coordinator behind its HTTP API and drive a small fleet through one
+// committed round.
+func TestServingFacade(t *testing.T) {
+	cfg := flint.DefaultCoordConfig()
+	cfg.Mode = flint.CoordAsync
+	cfg.TargetUpdates = 8
+	cfg.Quorum = 4
+	cfg.RoundDeadline = 5 * time.Second
+	c, err := flint.NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(flint.CoordHandler(c))
+	defer srv.Close()
+
+	rep, err := flint.RunFleet(flint.FleetConfig{
+		BaseURL:      srv.URL,
+		Devices:      40,
+		Rounds:       1,
+		Seed:         3,
+		ThinkTime:    10 * time.Millisecond,
+		ComputeScale: 0,
+		Timeout:      60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundsCommitted < 1 || rep.EndVersion < 2 {
+		t.Fatalf("fleet report: %+v", rep)
+	}
+	// In-flight devices can drive more commits between the watcher's
+	// observation and fleet drain, so the live version only grows.
+	if c.Version() < rep.EndVersion {
+		t.Fatalf("facade version %d < fleet-observed %d", c.Version(), rep.EndVersion)
+	}
+}
