@@ -30,6 +30,7 @@ func main() {
 	think := flag.Duration("think", 20*time.Millisecond, "mean device think time between protocol steps")
 	computeScale := flag.Float64("compute-scale", 1, "scale simulated local-training time (0 disables)")
 	deltaScale := flag.Float64("delta-scale", 0.01, "synthetic update delta magnitude")
+	jsonFraction := flag.Float64("json-fraction", 0, "share of devices kept on the legacy JSON protocol (0 = all binary, 1 = all JSON)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
@@ -42,6 +43,7 @@ func main() {
 		ThinkTime:    *think,
 		ComputeScale: *computeScale,
 		DeltaScale:   *deltaScale,
+		JSONFraction: *jsonFraction,
 		Timeout:      *timeout,
 	})
 	if rep != nil {
@@ -58,6 +60,9 @@ func main() {
 					st.Mode, st.ModelKind, st.Counters["rounds_committed"],
 					st.Counters["rounds_abandoned"], st.Counters["update_accepted"],
 					st.Counters["update_rejected_busy"])
+				fmt.Printf("  protocol: %d binary tasks, %d json tasks, %d binary updates, %d json updates\n",
+					st.Counters["task_sent_binary"], st.Counters["task_sent_json"],
+					st.Counters["update_recv_binary"], st.Counters["update_recv_json"])
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flint/internal/availability"
+	"flint/internal/codec"
 	"flint/internal/coord"
 	"flint/internal/model"
 )
@@ -37,12 +38,22 @@ func main() {
 	serverLR := flag.Float64("server-lr", 1, "async FedBuff server learning rate")
 	alpha := flag.Float64("alpha", 0.5, "async FedBuff staleness-discount exponent")
 	localSteps := flag.Int("local-steps", 20, "local training steps hint sent to devices")
+	taskScheme := flag.String("task-scheme", "f32", "binary broadcast encoding for /v1/task: raw64, f32, q8, or topk[:k]")
+	updateScheme := flag.String("update-scheme", "q8", "delta encoding binary devices use on /v1/update: raw64, f32, q8, or topk[:k]")
 	storeDir := flag.String("store-dir", "", "persist published model versions to this directory")
 	keepVersions := flag.Int("keep-versions", 8, "published model versions to retain (negative keeps all)")
 	statusEvery := flag.Duration("status-every", 5*time.Second, "periodic status log interval (0 disables)")
 	flag.Parse()
 
 	m, err := coord.ParseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts, err := codec.ParseScheme(*taskScheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	us, err := codec.ParseScheme(*updateScheme)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,6 +79,8 @@ func main() {
 		ServerLR:       *serverLR,
 		StalenessAlpha: *alpha,
 		LocalSteps:     *localSteps,
+		TaskScheme:     ts,
+		UpdateScheme:   us,
 		StoreDir:       *storeDir,
 		KeepVersions:   *keepVersions,
 	}
@@ -92,6 +105,8 @@ func main() {
 	fmt.Printf("flint-server: %s mode, model %s (%d params), target %d, quorum %d, deadline %s\n",
 		eff.Mode, eff.ModelKind, mustParams(eff.ModelKind, eff.Seed),
 		eff.TargetUpdates, eff.Quorum, eff.RoundDeadline)
+	fmt.Printf("wire: %s broadcast, %s uplink deltas (binary clients; JSON fallback stays on)\n",
+		eff.TaskScheme, eff.UpdateScheme)
 	fmt.Printf("listening on %s (POST /v1/checkin, GET /v1/task, POST /v1/update, GET /v1/status)\n", *addr)
 	log.Fatal(coord.NewServer(c).ListenAndServe(*addr))
 }

@@ -1,0 +1,461 @@
+// Package codec implements FLINT's versioned binary tensor wire format:
+// the one payload encoding shared by model checkpoints (internal/model),
+// the versioned store (internal/modelstore), and the live serving protocol
+// (the /v1/task broadcast and /v1/update bodies in internal/coord).
+//
+// A blob is a fixed 16-byte self-describing header followed by a
+// scheme-specific payload, all little-endian:
+//
+//	offset  size  field
+//	0       3     magic "FCT" (Flint Codec Tensor)
+//	3       1     format version (currently 1)
+//	4       1     scheme kind
+//	5       3     reserved (zero)
+//	8       4     element count (uint32)
+//	12      4     IEEE CRC-32 of the payload
+//	16      —     payload
+//
+// Four encodings cover the platform's payload spectrum (the paper's §2
+// network-cost constraint — cross-device FL must fit app networking
+// budgets): lossless raw float64 for checkpoints, float32 for model
+// broadcast, int8 per-chunk-scale quantization for uplink deltas, and
+// sparse top-k for very large or very sparse updates.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flint/internal/tensor"
+)
+
+// Format constants.
+const (
+	// Magic opens every blob; Version is the current format revision.
+	Magic   = "FCT"
+	Version = 1
+
+	headerSize = 16
+
+	// MaxDim bounds the element count a blob may declare, so a corrupt
+	// or hostile header can't drive an enormous allocation.
+	MaxDim = 1 << 24
+
+	// q8Chunk is the quantization block: each chunk of this many
+	// elements shares one float32 scale, so outliers only hurt their
+	// own block, not the whole vector.
+	q8Chunk = 256
+)
+
+// Kind identifies one payload encoding.
+type Kind uint8
+
+// The wire scheme kinds. Values are the protocol; keep them stable.
+const (
+	KindInvalid Kind = 0
+	KindRawF64  Kind = 1 // 8 bytes/elem, lossless
+	KindF32     Kind = 2 // 4 bytes/elem, ~2^-24 relative error
+	KindQ8      Kind = 3 // ~1 byte/elem, per-chunk scale, |err| ≤ scale/2
+	KindTopK    Kind = 4 // 8 bytes/kept elem, exact-as-f32 top-k, rest zero
+)
+
+// Scheme selects an encoding plus its parameters.
+type Scheme struct {
+	Kind Kind
+	// TopK is the kept-entry count for KindTopK: on encode 0 means
+	// dim/32 (minimum 1); on decode it reports the count found in the
+	// blob. Other kinds ignore it.
+	TopK int
+}
+
+// The parameterless schemes, ready to pass to Encode.
+var (
+	RawF64 = Scheme{Kind: KindRawF64}
+	F32    = Scheme{Kind: KindF32}
+	Q8     = Scheme{Kind: KindQ8}
+)
+
+// TopK returns a sparse top-k scheme keeping k entries (0 = dim/32).
+func TopK(k int) Scheme { return Scheme{Kind: KindTopK, TopK: k} }
+
+// Lossless reports whether decoding recovers the exact input values.
+func (s Scheme) Lossless() bool { return s.Kind == KindRawF64 }
+
+// Validate rejects unknown kinds and negative parameters.
+func (s Scheme) Validate() error {
+	switch s.Kind {
+	case KindRawF64, KindF32, KindQ8, KindTopK:
+	default:
+		return fmt.Errorf("codec: unknown scheme kind %d", s.Kind)
+	}
+	if s.TopK < 0 {
+		return fmt.Errorf("codec: negative top-k %d", s.TopK)
+	}
+	return nil
+}
+
+// String renders the scheme in the form ParseScheme accepts.
+func (s Scheme) String() string {
+	switch s.Kind {
+	case KindRawF64:
+		return "raw64"
+	case KindF32:
+		return "f32"
+	case KindQ8:
+		return "q8"
+	case KindTopK:
+		if s.TopK > 0 {
+			return "topk:" + strconv.Itoa(s.TopK)
+		}
+		return "topk"
+	}
+	return fmt.Sprintf("invalid(%d)", uint8(s.Kind))
+}
+
+// ParseScheme converts a CLI/wire string ("raw64", "f32", "q8",
+// "topk[:k]") into a Scheme.
+func ParseScheme(str string) (Scheme, error) {
+	base, arg, hasArg := strings.Cut(str, ":")
+	var s Scheme
+	switch strings.ToLower(strings.TrimSpace(base)) {
+	case "raw64", "raw", "f64", "float64":
+		s = RawF64
+	case "f32", "float32":
+		s = F32
+	case "q8", "int8":
+		s = Q8
+	case "topk", "sparse":
+		s = Scheme{Kind: KindTopK}
+	default:
+		return Scheme{}, fmt.Errorf("codec: unknown scheme %q (want raw64, f32, q8, or topk[:k])", str)
+	}
+	if hasArg {
+		if s.Kind != KindTopK {
+			return Scheme{}, fmt.Errorf("codec: scheme %q takes no argument", base)
+		}
+		k, err := strconv.Atoi(arg)
+		if err != nil || k <= 0 {
+			return Scheme{}, fmt.Errorf("codec: bad top-k count %q", arg)
+		}
+		s.TopK = k
+	}
+	return s, nil
+}
+
+// Decode error taxonomy: transports branch on these (a checksum failure
+// is retryable corruption; a version mismatch is a deployment skew).
+var (
+	ErrTooShort = errors.New("codec: blob shorter than header")
+	ErrMagic    = errors.New("codec: bad magic (not a tensor blob)")
+	ErrVersion  = errors.New("codec: unsupported format version")
+	ErrScheme   = errors.New("codec: unknown scheme in header")
+	ErrDim      = errors.New("codec: element count out of range")
+	ErrPayload  = errors.New("codec: payload length mismatch")
+	ErrChecksum = errors.New("codec: payload checksum mismatch")
+)
+
+// Encode serializes v under the scheme and returns the framed blob.
+func Encode(v tensor.Vector, s Scheme) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	dim := len(v)
+	if dim > MaxDim {
+		return nil, fmt.Errorf("%w: %d elements (max %d)", ErrDim, dim, MaxDim)
+	}
+	var payload []byte
+	switch s.Kind {
+	case KindRawF64:
+		payload = make([]byte, 8*dim)
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(x))
+		}
+	case KindF32:
+		payload = make([]byte, 4*dim)
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(payload[4*i:], math.Float32bits(float32(x)))
+		}
+	case KindQ8:
+		payload = encodeQ8(v)
+	case KindTopK:
+		payload = encodeTopK(v, s.TopK)
+	}
+	blob := make([]byte, headerSize+len(payload))
+	copy(blob, Magic)
+	blob[3] = Version
+	blob[4] = byte(s.Kind)
+	binary.LittleEndian.PutUint32(blob[8:], uint32(dim))
+	binary.LittleEndian.PutUint32(blob[12:], crc32.ChecksumIEEE(payload))
+	copy(blob[headerSize:], payload)
+	return blob, nil
+}
+
+// encodeQ8 emits [chunkSize u32][numChunks f32 scales][dim int8 values].
+// Each chunk's scale is maxAbs/127; values are round(x/scale) clamped to
+// ±127 (the -128 code is reserved), so |x - x̂| ≤ scale/2 plus float32
+// rounding of the scale itself.
+func encodeQ8(v tensor.Vector) []byte {
+	dim := len(v)
+	chunks := (dim + q8Chunk - 1) / q8Chunk
+	payload := make([]byte, 4+4*chunks+dim)
+	binary.LittleEndian.PutUint32(payload, q8Chunk)
+	scales := payload[4 : 4+4*chunks]
+	vals := payload[4+4*chunks:]
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*q8Chunk, (c+1)*q8Chunk
+		if hi > dim {
+			hi = dim
+		}
+		maxAbs := 0.0
+		for _, x := range v[lo:hi] {
+			// NaN compares false everywhere, so it never drives the
+			// scale; it quantizes to 0 below.
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		// Clamp instead of letting float32() overflow to +Inf: an Inf
+		// scale would decode every chunk element as 0*Inf = NaN.
+		scale := float32(maxAbs / 127)
+		if maxAbs/127 > math.MaxFloat32 {
+			scale = math.MaxFloat32
+		}
+		binary.LittleEndian.PutUint32(scales[4*c:], math.Float32bits(scale))
+		if scale == 0 {
+			continue // chunk is all zeros (vals already zeroed)
+		}
+		inv := 1 / float64(scale)
+		for i, x := range v[lo:hi] {
+			q := math.Round(x * inv)
+			// The comparisons also catch NaN (both false → q stays NaN
+			// only if unclamped), so saturate explicitly before the
+			// int8 conversion, whose behavior on non-integers in range
+			// is defined but on NaN is not.
+			switch {
+			case q > 127:
+				q = 127
+			case q < -127:
+				q = -127
+			case math.IsNaN(q):
+				q = 0
+			}
+			vals[lo+i] = byte(int8(q))
+		}
+	}
+	return payload
+}
+
+// encodeTopK emits [k u32][k u32 ascending indices][k f32 values],
+// keeping the k largest-magnitude entries.
+func encodeTopK(v tensor.Vector, k int) []byte {
+	dim := len(v)
+	if k <= 0 {
+		k = dim / 32
+		if k < 1 {
+			k = 1
+		}
+	}
+	if k > dim {
+		k = dim
+	}
+	// Selection runs O(dim log k) with O(k) extra space — a min-heap of
+	// the k strongest entries whose root is the weakest kept — instead
+	// of sorting a dim-length index slice: at the default k = dim/32 the
+	// full sort dominated the encode hot path. "Stronger" is larger
+	// magnitude with ties to the smaller index, matching the sort order
+	// this replaced, so encodings stay deterministic and byte-identical.
+	weaker := func(a, b int) bool {
+		ma, mb := math.Abs(v[a]), math.Abs(v[b])
+		if ma != mb {
+			return ma < mb
+		}
+		return a > b
+	}
+	kept := make([]int, 0, k)
+	siftDown := func(i int) {
+		for {
+			child := 2*i + 1
+			if child >= len(kept) {
+				return
+			}
+			if r := child + 1; r < len(kept) && weaker(kept[r], kept[child]) {
+				child = r
+			}
+			if !weaker(kept[child], kept[i]) {
+				return
+			}
+			kept[i], kept[child] = kept[child], kept[i]
+			i = child
+		}
+	}
+	for i := 0; i < dim; i++ {
+		if len(kept) < k {
+			kept = append(kept, i)
+			for j := len(kept) - 1; j > 0; {
+				p := (j - 1) / 2
+				if !weaker(kept[j], kept[p]) {
+					break
+				}
+				kept[j], kept[p] = kept[p], kept[j]
+				j = p
+			}
+		} else if weaker(kept[0], i) {
+			kept[0] = i
+			siftDown(0)
+		}
+	}
+	sort.Ints(kept)
+	payload := make([]byte, 4+8*k)
+	binary.LittleEndian.PutUint32(payload, uint32(k))
+	for i, j := range kept {
+		binary.LittleEndian.PutUint32(payload[4+4*i:], uint32(j))
+		binary.LittleEndian.PutUint32(payload[4+4*k+4*i:], math.Float32bits(float32(v[j])))
+	}
+	return payload
+}
+
+// Header peeks a blob's declared element count and scheme without
+// checksumming or decoding the payload. Transports use it to reject
+// wrong-sized tensors before paying the decode allocation.
+func Header(blob []byte) (dim int, s Scheme, err error) {
+	if len(blob) < headerSize {
+		return 0, Scheme{}, fmt.Errorf("%w: %d bytes", ErrTooShort, len(blob))
+	}
+	if string(blob[:3]) != Magic {
+		return 0, Scheme{}, ErrMagic
+	}
+	if blob[3] != Version {
+		return 0, Scheme{}, fmt.Errorf("%w: %d (want %d)", ErrVersion, blob[3], Version)
+	}
+	s = Scheme{Kind: Kind(blob[4])}
+	if err := s.Validate(); err != nil {
+		return 0, Scheme{}, fmt.Errorf("%w: kind %d", ErrScheme, blob[4])
+	}
+	// Bound the count while still unsigned: on 32-bit platforms a direct
+	// int() of a hostile uint32 would go negative, slip past the max
+	// check, and panic the decode allocation.
+	n := binary.LittleEndian.Uint32(blob[8:])
+	if n > MaxDim {
+		return 0, Scheme{}, fmt.Errorf("%w: %d elements (max %d)", ErrDim, n, MaxDim)
+	}
+	return int(n), s, nil
+}
+
+// Decode parses a framed blob back into a dense vector and reports the
+// scheme it was encoded with. Sparse schemes reconstruct zeros for the
+// dropped entries.
+func Decode(blob []byte) (tensor.Vector, Scheme, error) {
+	dim, s, err := Header(blob)
+	if err != nil {
+		return nil, Scheme{}, err
+	}
+	payload := blob[headerSize:]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(blob[12:]) {
+		return nil, Scheme{}, ErrChecksum
+	}
+	// Check the payload length against the declared dim BEFORE the
+	// dim-sized allocation, so a header-only hostile blob can't buy a
+	// MaxDim-element make with 16 bytes on the wire. Top-k is exempt by
+	// design — a small sparse payload legitimately describes a huge
+	// vector — so transports decoding untrusted top-k must bound the dim
+	// via Header first (the coord server compares it to the model dim).
+	switch s.Kind {
+	case KindRawF64:
+		if len(payload) != 8*dim {
+			return nil, Scheme{}, fmt.Errorf("%w: raw64 payload %d bytes for dim %d", ErrPayload, len(payload), dim)
+		}
+	case KindF32:
+		if len(payload) != 4*dim {
+			return nil, Scheme{}, fmt.Errorf("%w: f32 payload %d bytes for dim %d", ErrPayload, len(payload), dim)
+		}
+	case KindQ8:
+		// Lower bound only (chunk-size u32 + one int8 per element); the
+		// exact chunks*4 accounting happens in decodeQ8.
+		if len(payload) < 4+dim {
+			return nil, Scheme{}, fmt.Errorf("%w: q8 payload %d bytes for dim %d", ErrPayload, len(payload), dim)
+		}
+	}
+	v := tensor.NewVector(dim)
+	switch s.Kind {
+	case KindRawF64:
+		for i := range v {
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	case KindF32:
+		for i := range v {
+			v[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
+		}
+	case KindQ8:
+		if err := decodeQ8(payload, v); err != nil {
+			return nil, Scheme{}, err
+		}
+	case KindTopK:
+		k, err := decodeTopK(payload, v)
+		if err != nil {
+			return nil, Scheme{}, err
+		}
+		s.TopK = k
+	}
+	return v, s, nil
+}
+
+func decodeQ8(payload []byte, v tensor.Vector) error {
+	dim := len(v)
+	if len(payload) < 4 {
+		return fmt.Errorf("%w: q8 payload missing chunk size", ErrPayload)
+	}
+	chunk := int(binary.LittleEndian.Uint32(payload))
+	if chunk <= 0 || chunk > MaxDim {
+		return fmt.Errorf("%w: q8 chunk size %d", ErrPayload, chunk)
+	}
+	chunks := 0
+	if dim > 0 {
+		chunks = (dim + chunk - 1) / chunk
+	}
+	if len(payload) != 4+4*chunks+dim {
+		return fmt.Errorf("%w: q8 payload %d bytes for dim %d chunk %d", ErrPayload, len(payload), dim, chunk)
+	}
+	scales := payload[4 : 4+4*chunks]
+	vals := payload[4+4*chunks:]
+	for c := 0; c < chunks; c++ {
+		scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(scales[4*c:])))
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > dim {
+			hi = dim
+		}
+		for i := lo; i < hi; i++ {
+			v[i] = float64(int8(vals[i])) * scale
+		}
+	}
+	return nil
+}
+
+func decodeTopK(payload []byte, v tensor.Vector) (int, error) {
+	dim := len(v)
+	if len(payload) < 4 {
+		return 0, fmt.Errorf("%w: topk payload missing count", ErrPayload)
+	}
+	k := int(binary.LittleEndian.Uint32(payload))
+	if k > dim {
+		return 0, fmt.Errorf("%w: topk count %d exceeds dim %d", ErrPayload, k, dim)
+	}
+	if len(payload) != 4+8*k {
+		return 0, fmt.Errorf("%w: topk payload %d bytes for k %d", ErrPayload, len(payload), k)
+	}
+	prev := -1
+	for i := 0; i < k; i++ {
+		j := int(binary.LittleEndian.Uint32(payload[4+4*i:]))
+		if j >= dim || j <= prev {
+			return 0, fmt.Errorf("%w: topk index %d (dim %d, prev %d)", ErrPayload, j, dim, prev)
+		}
+		prev = j
+		v[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4+4*k+4*i:])))
+	}
+	return k, nil
+}

@@ -1,0 +1,271 @@
+package codec
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"testing"
+
+	"flint/internal/tensor"
+)
+
+func randVec(n int, seed int64, scale float64) tensor.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	v := tensor.NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * scale
+	}
+	return v
+}
+
+func TestRawF64RoundTripExact(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 1519, 4096} {
+		v := randVec(n, int64(n)+1, 3.7)
+		blob, err := Encode(v, RawF64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, s, err := Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Kind != KindRawF64 {
+			t.Fatalf("scheme = %v", s)
+		}
+		if len(got) != n {
+			t.Fatalf("dim %d, want %d", len(got), n)
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				t.Fatalf("n=%d elem %d: %v != %v", n, i, got[i], v[i])
+			}
+		}
+	}
+}
+
+func TestF32RoundTripRelativeError(t *testing.T) {
+	v := randVec(4096, 2, 0.05)
+	blob, err := Encode(v, F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, s, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != F32 {
+		t.Fatalf("scheme = %v", s)
+	}
+	for i := range v {
+		if diff := math.Abs(got[i] - v[i]); diff > math.Abs(v[i])*1e-6 {
+			t.Fatalf("elem %d: |%v - %v| = %v", i, got[i], v[i], diff)
+		}
+	}
+}
+
+// TestQ8ErrorBound is the quantization property test: every element's
+// reconstruction error is bounded by half its chunk's scale (plus the
+// float32 rounding of the scale itself).
+func TestQ8ErrorBound(t *testing.T) {
+	// Mixed magnitudes across chunks, dims straddling chunk boundaries.
+	for _, n := range []int{1, 255, 256, 257, 1519, 8192} {
+		v := randVec(n, int64(n)+7, 0.01)
+		// Give alternating chunks wildly different magnitudes so a
+		// global scale would fail where per-chunk scales pass.
+		for i := range v {
+			if (i/q8Chunk)%2 == 1 {
+				v[i] *= 1e4
+			}
+		}
+		blob, err := Encode(v, Q8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, s, err := Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != Q8 {
+			t.Fatalf("scheme = %v", s)
+		}
+		for c := 0; c*q8Chunk < n; c++ {
+			lo, hi := c*q8Chunk, (c+1)*q8Chunk
+			if hi > n {
+				hi = n
+			}
+			maxAbs := 0.0
+			for _, x := range v[lo:hi] {
+				if a := math.Abs(x); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			scale := float64(float32(maxAbs / 127))
+			bound := 0.5*scale + 1e-6*maxAbs + 1e-15
+			for i := lo; i < hi; i++ {
+				if diff := math.Abs(got[i] - v[i]); diff > bound {
+					t.Fatalf("n=%d elem %d: error %v exceeds bound %v (scale %v)", n, i, diff, bound, scale)
+				}
+			}
+		}
+	}
+}
+
+// TestTopKReconstruction verifies the sparse property: exactly the k
+// largest-magnitude entries survive (at float32 precision), all other
+// coordinates decode to zero.
+func TestTopKReconstruction(t *testing.T) {
+	n, k := 1000, 25
+	v := randVec(n, 11, 1)
+	blob, err := Encode(v, TopK(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, s, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != KindTopK || s.TopK != k {
+		t.Fatalf("scheme = %v", s)
+	}
+	// The kept set must be the k largest magnitudes.
+	threshold := math.Inf(1)
+	kept := 0
+	for i := range got {
+		if got[i] != 0 {
+			kept++
+			if a := math.Abs(v[i]); a < threshold {
+				threshold = a
+			}
+			if got[i] != float64(float32(v[i])) {
+				t.Fatalf("elem %d: kept value %v, want %v", i, got[i], float64(float32(v[i])))
+			}
+		}
+	}
+	if kept != k {
+		t.Fatalf("kept %d entries, want %d", kept, k)
+	}
+	for i := range got {
+		if got[i] == 0 && math.Abs(v[i]) > threshold {
+			t.Fatalf("elem %d: |%v| > kept threshold %v but was dropped", i, v[i], threshold)
+		}
+	}
+}
+
+func TestTopKDefaultCount(t *testing.T) {
+	v := randVec(640, 3, 1)
+	blob, err := Encode(v, Scheme{Kind: KindTopK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TopK != 640/32 {
+		t.Fatalf("default top-k = %d, want %d", s.TopK, 640/32)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	v := randVec(64, 5, 1)
+	blob, err := Encode(v, F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(fn func(b []byte)) []byte {
+		b := append([]byte(nil), blob...)
+		fn(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		blob []byte
+		want error
+	}{
+		{"short", blob[:10], ErrTooShort},
+		{"magic", mutate(func(b []byte) { b[0] = 'X' }), ErrMagic},
+		{"version", mutate(func(b []byte) { b[3] = 99 }), ErrVersion},
+		{"scheme", mutate(func(b []byte) { b[4] = 200 }), ErrScheme},
+		{"checksum", mutate(func(b []byte) { b[20] ^= 0xFF }), ErrChecksum},
+		{"truncated payload", func() []byte {
+			b := append([]byte(nil), blob[:len(blob)-8]...)
+			binary.LittleEndian.PutUint32(b[12:], crc32.ChecksumIEEE(b[16:]))
+			return b
+		}(), ErrPayload},
+		{"dim too large", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[8:], MaxDim+1)
+		}), ErrDim},
+	}
+	for _, tc := range cases {
+		if _, _, err := Decode(tc.blob); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// A header-only blob declaring a huge dim must be rejected on payload
+// length before Decode pays the dim-sized vector allocation — 16 hostile
+// bytes on the wire must not buy a MaxDim-element make.
+func TestDecodeHeaderOnlyHugeDim(t *testing.T) {
+	for _, kind := range []Kind{KindRawF64, KindF32, KindQ8} {
+		blob := make([]byte, 16)
+		copy(blob, Magic)
+		blob[3] = Version
+		blob[4] = byte(kind)
+		binary.LittleEndian.PutUint32(blob[8:], MaxDim) // passes the dim cap
+		// CRC of the empty payload is 0, which the zeroed header already
+		// holds, so the checksum check passes too.
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, _, err := Decode(blob); !errors.Is(err, ErrPayload) {
+				t.Fatalf("kind %d: err = %v, want %v", kind, err, ErrPayload)
+			}
+		})
+		// The error path may allocate for the message, but never the
+		// 128 MiB vector (which would be one huge alloc; give headroom
+		// for fmt's small ones).
+		if allocs > 8 {
+			t.Errorf("kind %d: %v allocs on reject path", kind, allocs)
+		}
+	}
+}
+
+func TestSchemeStringParseRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{RawF64, F32, Q8, TopK(128), {Kind: KindTopK}} {
+		got, err := ParseScheme(s.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip %v -> %v", s, got)
+		}
+	}
+	for _, bad := range []string{"", "gob", "q8:4", "topk:-1", "topk:x"} {
+		if _, err := ParseScheme(bad); err == nil {
+			t.Errorf("ParseScheme(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPayloadSizeVsJSON guards the refactor's headline claim: the binary
+// schemes shrink a dense update at least 4x vs the legacy JSON []float64
+// encoding.
+func TestPayloadSizeVsJSON(t *testing.T) {
+	v := randVec(8192, 9, 0.01)
+	jsonBytes, err := json.Marshal([]float64(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheme{F32, Q8} {
+		blob, err := Encode(v, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := float64(len(jsonBytes)) / float64(len(blob)); ratio < 4 {
+			t.Errorf("%s: JSON %d bytes / binary %d bytes = %.2fx, want >= 4x",
+				s, len(jsonBytes), len(blob), ratio)
+		}
+	}
+}

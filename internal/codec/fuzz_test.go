@@ -1,0 +1,43 @@
+package codec
+
+import (
+	"testing"
+
+	"flint/internal/tensor"
+)
+
+// FuzzDecode hammers the header/payload validation: arbitrary bytes must
+// never panic, and any blob that decodes successfully must describe a
+// self-consistent (scheme, dim) pair that re-encodes cleanly.
+func FuzzDecode(f *testing.F) {
+	seed := tensor.Vector{0.5, -1.25, 0, 3e-9, 1e6, -0.007, 42}
+	for _, s := range []Scheme{RawF64, F32, Q8, TopK(3)} {
+		blob, err := Encode(seed, s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)-3]) // truncated payload
+		f.Add(blob[:12])          // truncated header
+		corrupt := append([]byte(nil), blob...)
+		corrupt[17] ^= 0x55
+		f.Add(corrupt)
+	}
+	f.Add([]byte("FCT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoded invalid scheme %v: %v", s, err)
+		}
+		if s.Kind == KindTopK && s.TopK > len(v) {
+			t.Fatalf("topk count %d exceeds dim %d", s.TopK, len(v))
+		}
+		if _, err := Encode(v, s); err != nil {
+			t.Fatalf("re-encode of decoded vector failed: %v", err)
+		}
+	})
+}

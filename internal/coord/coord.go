@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"flint/internal/availability"
+	"flint/internal/codec"
 	"flint/internal/model"
 )
 
@@ -92,6 +93,16 @@ type Config struct {
 	// ServerLR and StalenessAlpha parameterize async FedBuff.
 	ServerLR       float64
 	StalenessAlpha float64
+
+	// TaskScheme is the codec encoding of the published-parameter
+	// broadcast served to binary clients on /v1/task (default f32). The
+	// encoded blob is cached and re-encoded once per commit.
+	TaskScheme codec.Scheme
+	// UpdateScheme is the delta encoding the server asks binary devices
+	// to use on /v1/update (default q8: int8 per-chunk-scale
+	// quantization, the uplink side of the paper's network-cost
+	// constraint). JSON clients ignore it.
+	UpdateScheme codec.Scheme
 
 	// LocalSteps is the per-task local training step count hint sent to
 	// devices.
@@ -177,6 +188,16 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.LocalSteps <= 0 {
 		c.LocalSteps = 20
+	}
+	if c.TaskScheme.Kind == codec.KindInvalid {
+		c.TaskScheme = codec.F32
+	} else if err := c.TaskScheme.Validate(); err != nil {
+		return c, fmt.Errorf("coord: task scheme: %w", err)
+	}
+	if c.UpdateScheme.Kind == codec.KindInvalid {
+		c.UpdateScheme = codec.Q8
+	} else if err := c.UpdateScheme.Validate(); err != nil {
+		return c, fmt.Errorf("coord: update scheme: %w", err)
 	}
 	if c.KeepVersions == 0 {
 		c.KeepVersions = 8

@@ -3,11 +3,13 @@ package coord
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"flint/internal/aggregator"
+	"flint/internal/codec"
 	"flint/internal/metrics"
 	"flint/internal/model"
 	"flint/internal/modelstore"
@@ -36,10 +38,17 @@ type Task struct {
 	// Dim is the flat parameter count; Params is the global vector at
 	// BaseVersion (nil when the server is configured not to embed it).
 	// The slice is shared and must be treated as read-only.
-	Dim        int
-	Params     tensor.Vector
-	LocalSteps int
-	Deadline   time.Time
+	Dim    int
+	Params tensor.Vector
+	// EncodedParams is the codec blob of Params under the server's task
+	// scheme, encoded once per commit and shared read-only across every
+	// request (nil when the server is configured not to embed params).
+	EncodedParams []byte
+	// UpdateScheme is the delta encoding the server asks binary devices
+	// to use when submitting this task's result.
+	UpdateScheme codec.Scheme
+	LocalSteps   int
+	Deadline     time.Time
 }
 
 // Submission is one device's completed task result.
@@ -109,8 +118,12 @@ type Coordinator struct {
 	// published is an immutable snapshot of the params at `version`;
 	// task responses share it read-only, so serving never copies.
 	published tensor.Vector
-	round     *Round
-	history   []RoundSummary
+	// publishedBlob is `published` pre-encoded under cfg.TaskScheme:
+	// the binary broadcast is paid once per commit, not once per
+	// /v1/task request.
+	publishedBlob []byte
+	round         *Round
+	history       []RoundSummary
 
 	ingest chan Submission
 	done   chan struct{}
@@ -155,6 +168,13 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.version.Store(int64(v))
 	c.published = m.Params().Clone()
+	if !cfg.OmitParams {
+		// With OmitParams the blob is never served, so skip the encode —
+		// it costs O(dim) work and allocation per publish.
+		if c.publishedBlob, err = codec.Encode(c.published, cfg.TaskScheme); err != nil {
+			return nil, err
+		}
+	}
 	c.round = c.newRoundLocked(1, v, cfg.Clock())
 	c.roundID.Store(1)
 	c.wg.Add(2)
@@ -245,15 +265,17 @@ func (c *Coordinator) RequestTask(deviceID int64) (Task, error) {
 	}
 	c.counters.Counter("task_assigned").Inc()
 	t := Task{
-		RoundID:     r.ID,
-		BaseVersion: r.BaseVersion,
-		ModelKind:   c.cfg.ModelKind,
-		Dim:         len(c.published),
-		LocalSteps:  c.cfg.LocalSteps,
-		Deadline:    r.Deadline,
+		RoundID:      r.ID,
+		BaseVersion:  r.BaseVersion,
+		ModelKind:    c.cfg.ModelKind,
+		Dim:          len(c.published),
+		UpdateScheme: c.cfg.UpdateScheme,
+		LocalSteps:   c.cfg.LocalSteps,
+		Deadline:     r.Deadline,
 	}
 	if !c.cfg.OmitParams {
 		t.Params = c.published
+		t.EncodedParams = c.publishedBlob
 	}
 	return t, nil
 }
@@ -269,6 +291,14 @@ func (c *Coordinator) SubmitUpdate(sub Submission) error {
 		c.counters.Counter("update_rejected_dim").Inc()
 		return fmt.Errorf("coord: update from device %d has %d params, want %d", sub.DeviceID, len(sub.Delta), want)
 	}
+	// One NaN/Inf element would propagate through aggregation and
+	// permanently poison the published model; the binary wire format can
+	// carry such bit patterns (JSON can't), so every ingress is screened
+	// here, the single choke point for all transports.
+	if !finite(sub.Weight) || !allFinite(sub.Delta) {
+		c.counters.Counter("update_rejected_nonfinite").Inc()
+		return fmt.Errorf("coord: update from device %d contains non-finite values", sub.DeviceID)
+	}
 	select {
 	case c.ingest <- sub:
 		c.counters.Counter("update_enqueued").Inc()
@@ -277,6 +307,17 @@ func (c *Coordinator) SubmitUpdate(sub Submission) error {
 		c.counters.Counter("update_rejected_busy").Inc()
 		return ErrBusy
 	}
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func allFinite(v tensor.Vector) bool {
+	for _, x := range v {
+		if !finite(x) {
+			return false
+		}
+	}
+	return true
 }
 
 // ingestLoop is the single consumer of the update queue: it owns round
@@ -402,13 +443,40 @@ func (c *Coordinator) commitLocked(now time.Time) {
 		c.counters.Counter("round_fsm_error").Inc()
 		return
 	}
-	if err := c.strategy.Aggregate(c.global.Params(), r.updates); err != nil {
+	params := c.global.Params()
+	if err := c.strategy.Aggregate(params, r.updates); err != nil {
 		// Aggregation failure (dimension drift) dooms the cohort, not
 		// the server: drop the round and keep serving.
 		c.counters.Counter("round_aggregate_error").Inc()
 		_ = r.advance(PhaseAbandoned)
 		c.finishLocked(r, 0, now)
 		return
+	}
+	// The ingress screen in SubmitUpdate only sees individual updates;
+	// finite deltas can still sum past MaxFloat64 during aggregation, and
+	// a single Inf here would be republished forever. Aggregate mutates
+	// params in place, so roll back to the last published snapshot
+	// (captured pre-aggregation) before dropping the round.
+	if !allFinite(params) {
+		copy(params, c.published)
+		c.counters.Counter("round_aggregate_nonfinite").Inc()
+		_ = r.advance(PhaseAbandoned)
+		c.finishLocked(r, 0, now)
+		return
+	}
+	// Re-encode the broadcast blob once here so no /v1/task request ever
+	// pays for encoding. Failing to encode is a publish failure: devices
+	// could no longer fetch the version we'd be announcing. OmitParams
+	// servers never serve the blob, so they skip the encode entirely.
+	var blob []byte
+	if !c.cfg.OmitParams {
+		var err error
+		if blob, err = codec.Encode(c.global.Params(), c.cfg.TaskScheme); err != nil {
+			c.counters.Counter("round_publish_error").Inc()
+			_ = r.advance(PhaseAbandoned)
+			c.finishLocked(r, 0, now)
+			return
+		}
 	}
 	v, err := c.store.Put(c.cfg.ModelName, c.global)
 	if err != nil {
@@ -430,6 +498,7 @@ func (c *Coordinator) commitLocked(now time.Time) {
 		}
 	}
 	c.published = c.global.Params().Clone()
+	c.publishedBlob = blob
 	c.version.Store(int64(v))
 	c.counters.Counter("rounds_committed").Inc()
 	c.counters.Counter("updates_aggregated").Add(int64(len(r.updates)))

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -100,6 +101,72 @@ func TestCoordinatorSyncRoundCommits(t *testing.T) {
 	// The store holds both versions.
 	if got := c.Store().Versions(c.Config().ModelName); len(got) != 2 {
 		t.Fatalf("store versions = %v, want 2 entries", got)
+	}
+}
+
+func TestCoordinatorNonFiniteScreening(t *testing.T) {
+	c, err := New(syncTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Wire-level NaN is rejected synchronously at ingress (the binary
+	// protocol can carry such bit patterns; JSON can't).
+	task := join(t, c, 1)
+	bad := tensor.NewVector(task.Dim)
+	bad[0] = math.NaN()
+	err = c.SubmitUpdate(Submission{
+		DeviceID: 1, RoundID: task.RoundID, BaseVersion: task.BaseVersion,
+		Weight: 1, Delta: bad,
+	})
+	if err == nil {
+		t.Fatal("NaN delta accepted")
+	}
+	if got := c.Counters().Counter("update_rejected_nonfinite").Value(); got != 1 {
+		t.Fatalf("update_rejected_nonfinite = %d, want 1", got)
+	}
+
+	// Individually finite deltas can still overflow during aggregation.
+	// Round 1 drives the global params to ~0.9*MaxFloat64 (finite, so it
+	// publishes); round 2 pushes them past MaxFloat64.
+	submitHuge := func(id int64, task Task) {
+		t.Helper()
+		delta := tensor.NewVector(task.Dim)
+		delta.Fill(0.9 * math.MaxFloat64)
+		err := c.SubmitUpdate(Submission{
+			DeviceID: id, RoundID: task.RoundID, BaseVersion: task.BaseVersion,
+			Weight: 10, Delta: delta,
+		})
+		if err != nil {
+			t.Fatalf("device %d: SubmitUpdate: %v", id, err)
+		}
+	}
+	// The synchronous reject must not have consumed device 1's round
+	// assignment: its original task is still good.
+	submitHuge(1, task)
+	for id := int64(2); id <= 3; id++ {
+		submitHuge(id, join(t, c, id))
+	}
+	eventually(t, 5*time.Second, func() bool { return c.Version() == 2 },
+		"huge-but-finite round never committed")
+	for id := int64(1); id <= 3; id++ {
+		submitHuge(id, join(t, c, id))
+	}
+	eventually(t, 5*time.Second, func() bool {
+		return c.Counters().Counter("round_aggregate_nonfinite").Value() == 1
+	}, "overflowing round was not screened")
+
+	// The poisoned aggregate must not publish, and the in-place mutation
+	// must roll back: a fresh task still carries the finite v2 params.
+	if c.Version() != 2 {
+		t.Fatalf("version = %d, want 2 (non-finite aggregate must not publish)", c.Version())
+	}
+	task = join(t, c, 4)
+	for _, x := range task.Params {
+		if math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("published params contain non-finite value %v after rollback", x)
+		}
 	}
 }
 

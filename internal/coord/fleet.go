@@ -6,16 +6,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flint/internal/codec"
 	"flint/internal/device"
 	"flint/internal/metrics"
+	"flint/internal/tensor"
 )
 
 // FleetConfig drives a synthetic device fleet against a running coordination
@@ -42,6 +46,11 @@ type FleetConfig struct {
 	DeltaScale float64
 	// Timeout bounds the whole run.
 	Timeout time.Duration
+	// JSONFraction is the share of devices kept on the legacy JSON
+	// protocol (0 = the whole fleet negotiates the binary tensor
+	// protocol, 1 = all JSON). Mixed fleets exercise old and new
+	// clients in the same rounds.
+	JSONFraction float64
 	// Client overrides the HTTP client (tests inject the httptest
 	// client; the default is tuned for a many-device single-host fleet).
 	Client *http.Client
@@ -69,6 +78,9 @@ func (c FleetConfig) withDefaults() (FleetConfig, error) {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Minute
+	}
+	if c.JSONFraction < 0 || c.JSONFraction > 1 {
+		return c, fmt.Errorf("coord: JSON fraction %v outside [0, 1]", c.JSONFraction)
 	}
 	if c.Client == nil {
 		tr := &http.Transport{
@@ -106,20 +118,27 @@ func summarizeLatency(ms []float64) LatencySummary {
 
 // FleetReport is the load generator's result.
 type FleetReport struct {
-	Devices         int            `json:"devices"`
-	RoundsCommitted int            `json:"rounds_committed"`
-	StartVersion    int            `json:"start_version"`
-	EndVersion      int            `json:"end_version"`
-	Wall            time.Duration  `json:"wall_ns"`
-	CheckIns        int64          `json:"checkins"`
-	TasksReceived   int64          `json:"tasks_received"`
-	UpdatesAccepted int64          `json:"updates_accepted"`
-	UpdatesRejected int64          `json:"updates_rejected"`
-	NetErrors       int64          `json:"net_errors"`
-	RequestsPerSec  float64        `json:"requests_per_sec"`
-	CheckInLatency  LatencySummary `json:"checkin_latency"`
-	TaskLatency     LatencySummary `json:"task_latency"`
-	UpdateLatency   LatencySummary `json:"update_latency"`
+	Devices         int           `json:"devices"`
+	BinaryDevices   int           `json:"binary_devices"`
+	JSONDevices     int           `json:"json_devices"`
+	RoundsCommitted int           `json:"rounds_committed"`
+	StartVersion    int           `json:"start_version"`
+	EndVersion      int           `json:"end_version"`
+	Wall            time.Duration `json:"wall_ns"`
+	CheckIns        int64         `json:"checkins"`
+	TasksReceived   int64         `json:"tasks_received"`
+	UpdatesAccepted int64         `json:"updates_accepted"`
+	UpdatesRejected int64         `json:"updates_rejected"`
+	NetErrors       int64         `json:"net_errors"`
+	RequestsPerSec  float64       `json:"requests_per_sec"`
+	// BytesSent/BytesRecv are client-observed wire totals (request and
+	// response bodies across the whole fleet), the load generator's view
+	// of the codec's payload win.
+	BytesSent      int64          `json:"bytes_sent"`
+	BytesRecv      int64          `json:"bytes_received"`
+	CheckInLatency LatencySummary `json:"checkin_latency"`
+	TaskLatency    LatencySummary `json:"task_latency"`
+	UpdateLatency  LatencySummary `json:"update_latency"`
 	// FinalStatus is the server's status snapshot at fleet shutdown.
 	FinalStatus *StatusReport `json:"final_status,omitempty"`
 }
@@ -127,10 +146,18 @@ type FleetReport struct {
 // String renders the operator-facing summary cmd/flint-fleet prints.
 func (r *FleetReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fleet: %d devices drove v%d → v%d (%d rounds) in %.2fs\n",
-		r.Devices, r.StartVersion, r.EndVersion, r.RoundsCommitted, r.Wall.Seconds())
+	fmt.Fprintf(&b, "fleet: %d devices (%d binary, %d json) drove v%d → v%d (%d rounds) in %.2fs\n",
+		r.Devices, r.BinaryDevices, r.JSONDevices, r.StartVersion, r.EndVersion, r.RoundsCommitted, r.Wall.Seconds())
 	fmt.Fprintf(&b, "  requests: %d check-ins, %d tasks, %d updates accepted, %d rejected, %d net errors (%.0f req/s)\n",
 		r.CheckIns, r.TasksReceived, r.UpdatesAccepted, r.UpdatesRejected, r.NetErrors, r.RequestsPerSec)
+	perDev := func(total int64) string {
+		if r.Devices == 0 {
+			return "0 B"
+		}
+		return fmtBytes(total / int64(r.Devices))
+	}
+	fmt.Fprintf(&b, "  wire: sent %s, received %s (per device: %s out, %s in)\n",
+		fmtBytes(r.BytesSent), fmtBytes(r.BytesRecv), perDev(r.BytesSent), perDev(r.BytesRecv))
 	row := func(name string, l LatencySummary) {
 		fmt.Fprintf(&b, "  %-8s n=%-7d p50 %7.2fms  p90 %7.2fms  p99 %7.2fms  max %7.2fms\n",
 			name, l.Count, l.P50, l.P90, l.P99, l.Max)
@@ -139,6 +166,19 @@ func (r *FleetReport) String() string {
 	row("task", r.TaskLatency)
 	row("update", r.UpdateLatency)
 	return b.String()
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // fleetTotals aggregates counters across device goroutines.
@@ -159,8 +199,14 @@ type fleetDevice struct {
 	profile  device.Profile
 	modernOS bool
 	weight   float64
-	rng      *rand.Rand
-	lat      latRecorder
+	// binary devices speak the tensor protocol: Accept negotiation on
+	// /v1/task, client-side delta quantization on /v1/update.
+	binary bool
+	rng    *rand.Rand
+	lat    latRecorder
+	// Client-observed wire traffic (request/response bodies), merged
+	// into the fleet totals at shutdown.
+	bytesSent, bytesRecv int64
 }
 
 // RunFleet executes the load generator and blocks until the server commits
@@ -176,6 +222,9 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The first jsonCount devices stay on the legacy protocol; the rest
+	// negotiate binary. Deterministic, so tests can assert the mix.
+	jsonCount := int(math.Round(cfg.JSONFraction * float64(cfg.Devices)))
 	devs := make([]*fleetDevice, cfg.Devices)
 	for i, s := range sampled {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
@@ -186,6 +235,7 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 			profile:  s.Profile,
 			modernOS: rng.Float64() < s.Profile.ModernOSProb,
 			weight:   20 + float64(rng.Intn(180)),
+			binary:   i >= jsonCount,
 			rng:      rng,
 		}
 	}
@@ -251,15 +301,20 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 		}
 	}
 	var checkin, task, update []float64
+	var bytesSent, bytesRecv int64
 	for _, d := range devs {
 		checkin = append(checkin, d.lat.checkin...)
 		task = append(task, d.lat.task...)
 		update = append(update, d.lat.update...)
+		bytesSent += d.bytesSent
+		bytesRecv += d.bytesRecv
 	}
 	requests := totals.checkins.Load() + totals.tasks.Load() +
 		totals.accepted.Load() + totals.rejected.Load()
 	rep := &FleetReport{
 		Devices:         cfg.Devices,
+		BinaryDevices:   cfg.Devices - jsonCount,
+		JSONDevices:     jsonCount,
 		RoundsCommitted: endStatus.Version - startStatus.Version,
 		StartVersion:    startStatus.Version,
 		EndVersion:      endStatus.Version,
@@ -270,6 +325,8 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 		UpdatesRejected: totals.rejected.Load(),
 		NetErrors:       totals.netErrs.Load(),
 		RequestsPerSec:  float64(requests) / wall.Seconds(),
+		BytesSent:       bytesSent,
+		BytesRecv:       bytesRecv,
 		CheckInLatency:  summarizeLatency(checkin),
 		TaskLatency:     summarizeLatency(task),
 		UpdateLatency:   summarizeLatency(update),
@@ -357,7 +414,7 @@ func (d *fleetDevice) checkIn(ctx context.Context, cfg FleetConfig) (bool, error
 	}
 	var res CheckInResponse
 	t0 := time.Now()
-	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/checkin", req, &res)
+	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/checkin", req, &res, d)
 	if err != nil {
 		return false, err
 	}
@@ -366,10 +423,13 @@ func (d *fleetDevice) checkIn(ctx context.Context, cfg FleetConfig) (bool, error
 }
 
 func (d *fleetDevice) fetchTask(ctx context.Context, cfg FleetConfig) (*TaskResponse, error) {
+	if d.binary {
+		return d.fetchTaskBinary(ctx, cfg)
+	}
 	var task TaskResponse
 	t0 := time.Now()
 	code, err := doJSON(ctx, cfg.Client, http.MethodGet,
-		fmt.Sprintf("%s/v1/task?device=%d", cfg.BaseURL, d.id), nil, &task)
+		fmt.Sprintf("%s/v1/task?device=%d", cfg.BaseURL, d.id), nil, &task, d)
 	if err != nil {
 		return nil, err
 	}
@@ -380,10 +440,76 @@ func (d *fleetDevice) fetchTask(ctx context.Context, cfg FleetConfig) (*TaskResp
 	return &task, nil
 }
 
+// fetchTaskBinary negotiates the tensor protocol via Accept and parses
+// the X-Flint-* metadata headers plus the codec blob body. A JSON reply
+// (an old server) is decoded as the legacy response, so new devices
+// interoperate both ways.
+func (d *fleetDevice) fetchTaskBinary(ctx context.Context, cfg FleetConfig) (*TaskResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/task?device=%d", cfg.BaseURL, d.id), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", ContentTypeTensor)
+	t0 := time.Now()
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d.bytesRecv += int64(len(body))
+	if err != nil {
+		return nil, err
+	}
+	d.lat.task = append(d.lat.task, msSince(t0))
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeTensor) {
+		var task TaskResponse
+		if err := json.Unmarshal(body, &task); err != nil {
+			return nil, err
+		}
+		return &task, nil
+	}
+	task := &TaskResponse{UpdateScheme: resp.Header.Get(hdrUpdateScheme)}
+	if task.RoundID, err = strconv.ParseUint(resp.Header.Get(hdrRound), 10, 64); err != nil {
+		return nil, fmt.Errorf("coord: bad %s header: %w", hdrRound, err)
+	}
+	if task.BaseVersion, err = strconv.Atoi(resp.Header.Get(hdrBaseVersion)); err != nil {
+		return nil, fmt.Errorf("coord: bad %s header: %w", hdrBaseVersion, err)
+	}
+	if task.Dim, err = strconv.Atoi(resp.Header.Get(hdrDim)); err != nil {
+		return nil, fmt.Errorf("coord: bad %s header: %w", hdrDim, err)
+	}
+	if task.LocalSteps, err = strconv.Atoi(resp.Header.Get(hdrLocalSteps)); err != nil {
+		return nil, fmt.Errorf("coord: bad %s header: %w", hdrLocalSteps, err)
+	}
+	if task.DeadlineMS, err = strconv.ParseInt(resp.Header.Get(hdrDeadlineMS), 10, 64); err != nil {
+		return nil, fmt.Errorf("coord: bad %s header: %w", hdrDeadlineMS, err)
+	}
+	task.ModelKind = resp.Header.Get(hdrModelKind)
+	if len(body) > 0 {
+		params, _, err := codec.Decode(body)
+		if err != nil {
+			return nil, fmt.Errorf("coord: bad task tensor: %w", err)
+		}
+		task.Params = params
+	}
+	return task, nil
+}
+
 func (d *fleetDevice) submit(ctx context.Context, cfg FleetConfig, task *TaskResponse) (bool, error) {
-	delta := make([]float64, task.Dim)
+	delta := make(tensor.Vector, task.Dim)
 	for i := range delta {
 		delta[i] = d.rng.NormFloat64() * cfg.DeltaScale
+	}
+	// Binary uploads only when the server advertised a scheme with the
+	// task: a pre-codec server never does, so new devices degrade to
+	// JSON against it instead of shipping blobs it would reject.
+	if d.binary && task.UpdateScheme != "" {
+		return d.submitBinary(ctx, cfg, task, delta)
 	}
 	req := UpdateRequest{
 		DeviceID:    d.id,
@@ -394,7 +520,7 @@ func (d *fleetDevice) submit(ctx context.Context, cfg FleetConfig, task *TaskRes
 	}
 	var res UpdateResponse
 	t0 := time.Now()
-	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/update", req, &res)
+	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/update", req, &res, d)
 	if err != nil {
 		return false, err
 	}
@@ -402,9 +528,52 @@ func (d *fleetDevice) submit(ctx context.Context, cfg FleetConfig, task *TaskRes
 	return code == http.StatusAccepted && res.Accepted, nil
 }
 
+// submitBinary quantizes the delta client-side with the scheme the server
+// requested in the task and ships the codec blob.
+func (d *fleetDevice) submitBinary(ctx context.Context, cfg FleetConfig, task *TaskResponse, delta tensor.Vector) (bool, error) {
+	scheme, err := codec.ParseScheme(task.UpdateScheme)
+	if err != nil {
+		scheme = codec.F32 // unknown future scheme: a safe lossy default
+	}
+	blob, err := codec.Encode(delta, scheme)
+	if err != nil {
+		return false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/update", bytes.NewReader(blob))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", ContentTypeTensor)
+	req.Header.Set(hdrDevice, strconv.FormatInt(d.id, 10))
+	req.Header.Set(hdrRound, strconv.FormatUint(task.RoundID, 10))
+	req.Header.Set(hdrBaseVersion, strconv.Itoa(task.BaseVersion))
+	req.Header.Set(hdrWeight, strconv.FormatFloat(d.weight, 'g', -1, 64))
+	t0 := time.Now()
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	d.bytesSent += int64(len(blob))
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d.bytesRecv += int64(len(body))
+	if err != nil {
+		return false, err
+	}
+	d.lat.update = append(d.lat.update, msSince(t0))
+	if resp.StatusCode != http.StatusAccepted {
+		return false, nil
+	}
+	var res UpdateResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		return false, err
+	}
+	return res.Accepted, nil
+}
+
 func fetchStatus(ctx context.Context, cfg FleetConfig) (*StatusReport, error) {
 	var st StatusReport
-	code, err := doJSON(ctx, cfg.Client, http.MethodGet, cfg.BaseURL+"/v1/status", nil, &st)
+	code, err := doJSON(ctx, cfg.Client, http.MethodGet, cfg.BaseURL+"/v1/status", nil, &st, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -417,14 +586,17 @@ func fetchStatus(ctx context.Context, cfg FleetConfig) (*StatusReport, error) {
 // doJSON issues one JSON request and decodes the body when the status code
 // carries one. It returns the status code so callers can branch on protocol
 // outcomes (204 no task, 409 late, 503 shed) without treating them as
-// transport errors.
-func doJSON(ctx context.Context, client *http.Client, method, url string, in, out any) (int, error) {
+// transport errors. A non-nil dev gets the request/response body sizes
+// added to its wire-traffic counters.
+func doJSON(ctx context.Context, client *http.Client, method, url string, in, out any, dev *fleetDevice) (int, error) {
 	var body io.Reader
+	var sent int64
 	if in != nil {
 		raw, err := json.Marshal(in)
 		if err != nil {
 			return 0, err
 		}
+		sent = int64(len(raw))
 		body = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
@@ -439,12 +611,20 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, in, ou
 		return 0, err
 	}
 	defer resp.Body.Close()
+	if dev != nil {
+		dev.bytesSent += sent
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if dev != nil {
+		dev.bytesRecv += int64(len(raw))
+	}
+	if err != nil {
+		return resp.StatusCode, err
+	}
 	if out != nil && resp.StatusCode < 300 && resp.StatusCode != http.StatusNoContent {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
 			return resp.StatusCode, err
 		}
-	} else {
-		_, _ = io.Copy(io.Discard, resp.Body)
 	}
 	return resp.StatusCode, nil
 }

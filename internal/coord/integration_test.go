@@ -1,15 +1,20 @@
 package coord
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"flint/internal/availability"
+	"flint/internal/codec"
 	"flint/internal/model"
+	"flint/internal/tensor"
 )
 
 // TestFleetEndToEnd drives a fleet of goroutine devices through a live
@@ -105,6 +110,149 @@ func TestFleetEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFleetMixedProtocols runs binary-tensor and legacy-JSON clients
+// against the same server in the same rounds: the content-negotiation
+// contract is that neither cohort can tell the other exists.
+func TestFleetMixedProtocols(t *testing.T) {
+	c, err := New(Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          1,
+		TargetUpdates: 10,
+		Quorum:        4,
+		OverCommit:    2,
+		RoundDeadline: 5 * time.Second,
+		QueueDepth:    128,
+		KeepVersions:  -1,
+		UpdateScheme:  codec.Q8,
+		Criteria:      availability.Criteria{RequireWiFi: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+
+	rep, err := RunFleet(FleetConfig{
+		BaseURL:      srv.URL,
+		Devices:      80,
+		Rounds:       2,
+		Seed:         11,
+		ThinkTime:    15 * time.Millisecond,
+		ComputeScale: 0.2,
+		JSONFraction: 0.5,
+		Timeout:      90 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("fleet: %v (report: %+v)", err, rep)
+	}
+	if rep.BinaryDevices != 40 || rep.JSONDevices != 40 {
+		t.Fatalf("cohorts: %d binary, %d json", rep.BinaryDevices, rep.JSONDevices)
+	}
+	if rep.BytesSent == 0 || rep.BytesRecv == 0 {
+		t.Fatalf("wire stats empty: %+v", rep)
+	}
+	// Both protocols actually carried traffic on both directions.
+	for _, counter := range []string{"task_sent_binary", "task_sent_json", "update_recv_binary", "update_recv_json"} {
+		if c.Counters().Counter(counter).Value() == 0 {
+			t.Errorf("counter %s = 0: that protocol path never ran", counter)
+		}
+	}
+	// Quantized binary updates aggregated alongside JSON ones.
+	final, _, err := c.Store().Latest(c.Config().ModelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := c.Store().Get(c.Config().ModelName, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := final.Params().Clone()
+	diff.Sub(init.Params())
+	if diff.Norm2() == 0 {
+		t.Fatal("model parameters unchanged after mixed-protocol rounds")
+	}
+}
+
+// TestPublishedBlobCache checks the per-commit broadcast cache: the blob a
+// task carries decodes to the published parameters, is shared byte-for-byte
+// between requests at the same version, and is re-encoded after a commit.
+func TestPublishedBlobCache(t *testing.T) {
+	c, err := New(Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          1,
+		TargetUpdates: 1,
+		Quorum:        1,
+		OverCommit:    4,
+		RoundDeadline: time.Minute,
+		TaskScheme:    codec.RawF64, // lossless so decode == published exactly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info := func(id int64) DeviceInfo {
+		return DeviceInfo{ID: id, Model: "Pixel-6", WiFi: true, BatteryHigh: true, SessionSec: 120, Weight: 1}
+	}
+	c.CheckIn(info(1))
+	c.CheckIn(info(2))
+	t1, err := c.RequestTask(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.RequestTask(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.EncodedParams) == 0 || &t1.EncodedParams[0] != &t2.EncodedParams[0] {
+		t.Fatal("same-version tasks do not share the cached blob")
+	}
+	decoded, scheme, err := codec.Decode(t1.EncodedParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme != codec.RawF64 || len(decoded) != t1.Dim {
+		t.Fatalf("blob scheme %v dim %d", scheme, len(decoded))
+	}
+	diff := decoded.Clone()
+	diff.Sub(t1.Params)
+	if diff.Norm2() != 0 {
+		t.Fatal("cached blob does not match published params")
+	}
+
+	// Commit a round and confirm the cache was re-encoded.
+	delta := tensor.NewVector(t1.Dim)
+	delta.Fill(0.5)
+	if err := c.SubmitUpdate(Submission{DeviceID: 1, RoundID: t1.RoundID, BaseVersion: t1.BaseVersion, Weight: 1, Delta: delta}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Version() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("round never committed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t3, err := c.RequestTask(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.BaseVersion != 2 {
+		t.Fatalf("base version %d, want 2", t3.BaseVersion)
+	}
+	decoded2, _, err := codec.Decode(t3.EncodedParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := decoded2.Clone()
+	moved.Sub(decoded)
+	if moved.Norm2() == 0 {
+		t.Fatal("blob unchanged after commit")
+	}
+}
+
 // TestServerProtocolEdges exercises the wire-level error contract directly.
 func TestServerProtocolEdges(t *testing.T) {
 	c, err := New(Config{
@@ -191,5 +339,104 @@ func TestServerProtocolEdges(t *testing.T) {
 	resp.Body.Close()
 	if st.Devices.Known != 1 || st.Round.ID != 1 || st.Mode != ModeSync {
 		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestBinaryProtocolEdges exercises the tensor-body wire contract: header
+// metadata, blob validation, and the dimension precheck.
+func TestBinaryProtocolEdges(t *testing.T) {
+	c, err := New(Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          1,
+		TargetUpdates: 4,
+		Quorum:        2,
+		RoundDeadline: time.Minute,
+		TaskScheme:    codec.F32,
+		UpdateScheme:  codec.Q8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	client := srv.Client()
+
+	body, _ := json.Marshal(CheckInRequest{DeviceID: 7, Model: "Pixel-6", WiFi: true, BatteryHigh: true, SessionSec: 120, Weight: 2})
+	resp, err := client.Post(srv.URL+"/v1/checkin", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Accept negotiation: binary task with metadata headers and a codec
+	// blob body that decodes to the model dimension.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/task?device=7", nil)
+	req.Header.Set("Accept", ContentTypeTensor)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary task: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeTensor {
+		t.Fatalf("content type %q", ct)
+	}
+	if got := resp.Header.Get(hdrUpdateScheme); got != "q8" {
+		t.Fatalf("update scheme header %q", got)
+	}
+	params, scheme, err := codec.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, _ := strconv.Atoi(resp.Header.Get(hdrDim))
+	if scheme != codec.F32 || len(params) != dim || dim == 0 {
+		t.Fatalf("blob: scheme %v, %d params, dim header %d", scheme, len(params), dim)
+	}
+
+	post := func(body []byte, round, base string) int {
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/update", bytes.NewReader(body))
+		req.Header.Set("Content-Type", ContentTypeTensor)
+		req.Header.Set(hdrDevice, "7")
+		req.Header.Set(hdrRound, round)
+		req.Header.Set(hdrBaseVersion, base)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	// Garbage tensor body → 400.
+	if code := post([]byte("not a tensor"), "1", "1"); code != http.StatusBadRequest {
+		t.Fatalf("garbage blob: HTTP %d, want 400", code)
+	}
+	// Wrong-dimension blob → 400 (rejected from the header precheck).
+	small, err := codec.Encode(tensor.NewVector(3), codec.F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post(small, "1", "1"); code != http.StatusBadRequest {
+		t.Fatalf("wrong-dim blob: HTTP %d, want 400", code)
+	}
+	// Bad metadata header → 400.
+	if code := post(blob, "not-a-number", "1"); code != http.StatusBadRequest {
+		t.Fatalf("bad round header: HTTP %d, want 400", code)
+	}
+	// A well-formed quantized delta → 202.
+	delta := tensor.NewVector(dim)
+	delta.Fill(0.001)
+	enc, err := codec.Encode(delta, codec.Q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post(enc, "1", "1"); code != http.StatusAccepted {
+		t.Fatalf("valid binary update: HTTP %d, want 202", code)
 	}
 }

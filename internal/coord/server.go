@@ -4,12 +4,42 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
+	"flint/internal/codec"
 	"flint/internal/tensor"
 )
+
+// ContentTypeTensor marks binary tensor bodies (the internal/codec wire
+// format). Devices opt in by sending it in Accept on GET /v1/task and as
+// Content-Type on POST /v1/update; everything else falls back to the
+// legacy JSON protocol, so old clients keep working unchanged.
+const ContentTypeTensor = "application/x-flint-tensor"
+
+// Binary-protocol metadata travels in headers so the body can be the
+// cached codec blob verbatim. Header names are the protocol; keep them
+// stable.
+const (
+	hdrDevice       = "X-Flint-Device"
+	hdrRound        = "X-Flint-Round"
+	hdrBaseVersion  = "X-Flint-Base-Version"
+	hdrModelKind    = "X-Flint-Model-Kind"
+	hdrDim          = "X-Flint-Dim"
+	hdrLocalSteps   = "X-Flint-Local-Steps"
+	hdrDeadlineMS   = "X-Flint-Deadline-Ms"
+	hdrUpdateScheme = "X-Flint-Update-Scheme"
+	hdrWeight       = "X-Flint-Weight"
+)
+
+// maxUpdateBody bounds a binary /v1/update body read: the largest zoo
+// model is ~922k params, far under this, and it keeps a hostile
+// Content-Length from ballooning the handler.
+const maxUpdateBody = 64 << 20
 
 // Wire types of the /v1 JSON API. Field names are the protocol; keep them
 // stable.
@@ -36,13 +66,28 @@ type CheckInResponse struct {
 
 // TaskResponse is the GET /v1/task reply (200 only; 204 means no task).
 type TaskResponse struct {
-	RoundID     uint64    `json:"round_id"`
-	BaseVersion int       `json:"base_version"`
-	ModelKind   string    `json:"model_kind"`
-	Dim         int       `json:"dim"`
-	Params      []float64 `json:"params,omitempty"`
-	LocalSteps  int       `json:"local_steps"`
-	DeadlineMS  int64     `json:"deadline_unix_ms"`
+	RoundID      uint64    `json:"round_id"`
+	BaseVersion  int       `json:"base_version"`
+	ModelKind    string    `json:"model_kind"`
+	Dim          int       `json:"dim"`
+	Params       []float64 `json:"params,omitempty"`
+	LocalSteps   int       `json:"local_steps"`
+	DeadlineMS   int64     `json:"deadline_unix_ms"`
+	UpdateScheme string    `json:"update_scheme,omitempty"`
+}
+
+// taskWire mirrors TaskResponse for encoding, with the params array as a
+// pre-marshaled json.RawMessage: the server renders the float vector to
+// JSON once per published version, not once per request.
+type taskWire struct {
+	RoundID      uint64          `json:"round_id"`
+	BaseVersion  int             `json:"base_version"`
+	ModelKind    string          `json:"model_kind"`
+	Dim          int             `json:"dim"`
+	Params       json.RawMessage `json:"params,omitempty"`
+	LocalSteps   int             `json:"local_steps"`
+	DeadlineMS   int64           `json:"deadline_unix_ms"`
+	UpdateScheme string          `json:"update_scheme,omitempty"`
 }
 
 // UpdateRequest is the POST /v1/update body.
@@ -67,6 +112,14 @@ type errorResponse struct {
 type Server struct {
 	c   *Coordinator
 	mux *http.ServeMux
+	// jsonParams caches the marshaled params array for the legacy JSON
+	// task path, keyed by published version.
+	jsonParams atomic.Pointer[jsonParamsCache]
+}
+
+type jsonParamsCache struct {
+	version int
+	raw     json.RawMessage
 }
 
 // NewServer wraps the coordinator in its /v1 JSON API.
@@ -148,30 +201,80 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, TaskResponse{
-		RoundID:     t.RoundID,
-		BaseVersion: t.BaseVersion,
-		ModelKind:   string(t.ModelKind),
-		Dim:         t.Dim,
-		Params:      t.Params,
-		LocalSteps:  t.LocalSteps,
-		DeadlineMS:  t.Deadline.UnixMilli(),
+	if strings.Contains(r.Header.Get("Accept"), ContentTypeTensor) {
+		// Binary path: metadata in headers, body is the cached codec
+		// blob verbatim — zero per-request encoding.
+		h := w.Header()
+		h.Set("Content-Type", ContentTypeTensor)
+		h.Set(hdrRound, strconv.FormatUint(t.RoundID, 10))
+		h.Set(hdrBaseVersion, strconv.Itoa(t.BaseVersion))
+		h.Set(hdrModelKind, string(t.ModelKind))
+		h.Set(hdrDim, strconv.Itoa(t.Dim))
+		h.Set(hdrLocalSteps, strconv.Itoa(t.LocalSteps))
+		h.Set(hdrDeadlineMS, strconv.FormatInt(t.Deadline.UnixMilli(), 10))
+		h.Set(hdrUpdateScheme, t.UpdateScheme.String())
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(t.EncodedParams)
+		s.c.counters.Counter("task_sent_binary").Inc()
+		return
+	}
+	s.c.counters.Counter("task_sent_json").Inc()
+	writeJSON(w, http.StatusOK, taskWire{
+		RoundID:      t.RoundID,
+		BaseVersion:  t.BaseVersion,
+		ModelKind:    string(t.ModelKind),
+		Dim:          t.Dim,
+		Params:       s.paramsJSON(t),
+		LocalSteps:   t.LocalSteps,
+		DeadlineMS:   t.Deadline.UnixMilli(),
+		UpdateScheme: t.UpdateScheme.String(),
 	})
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	var req UpdateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
-		return
+// paramsJSON returns the task's parameter vector as a marshaled JSON
+// array, re-rendering only when the published version changes. Concurrent
+// rebuilds are benign: both produce identical bytes.
+func (s *Server) paramsJSON(t Task) json.RawMessage {
+	if t.Params == nil {
+		return nil
 	}
-	err := s.c.SubmitUpdate(Submission{
-		DeviceID:    req.DeviceID,
-		RoundID:     req.RoundID,
-		BaseVersion: req.BaseVersion,
-		Weight:      req.Weight,
-		Delta:       tensor.Vector(req.Delta),
-	})
+	if c := s.jsonParams.Load(); c != nil && c.version == t.BaseVersion {
+		return c.raw
+	}
+	raw, err := json.Marshal([]float64(t.Params))
+	if err != nil {
+		return nil // unreachable for a float slice; keep the handler alive
+	}
+	s.jsonParams.Store(&jsonParamsCache{version: t.BaseVersion, raw: raw})
+	return raw
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var sub Submission
+	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeTensor) {
+		parsed, err := s.binarySubmission(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		sub = parsed
+		s.c.counters.Counter("update_recv_binary").Inc()
+	} else {
+		var req UpdateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
+			return
+		}
+		sub = Submission{
+			DeviceID:    req.DeviceID,
+			RoundID:     req.RoundID,
+			BaseVersion: req.BaseVersion,
+			Weight:      req.Weight,
+			Delta:       tensor.Vector(req.Delta),
+		}
+		s.c.counters.Counter("update_recv_json").Inc()
+	}
+	err := s.c.SubmitUpdate(sub)
 	switch {
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
@@ -185,6 +288,52 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, UpdateResponse{Accepted: true})
+}
+
+// binarySubmission parses a binary /v1/update: metadata from X-Flint-*
+// headers, the delta from a codec blob body (any scheme — the header's
+// declared dimension is checked before the decode allocation).
+func (s *Server) binarySubmission(r *http.Request) (Submission, error) {
+	id, err := strconv.ParseInt(r.Header.Get(hdrDevice), 10, 64)
+	if err != nil {
+		return Submission{}, fmt.Errorf("bad %s header: %w", hdrDevice, err)
+	}
+	round, err := strconv.ParseUint(r.Header.Get(hdrRound), 10, 64)
+	if err != nil {
+		return Submission{}, fmt.Errorf("bad %s header: %w", hdrRound, err)
+	}
+	base, err := strconv.Atoi(r.Header.Get(hdrBaseVersion))
+	if err != nil {
+		return Submission{}, fmt.Errorf("bad %s header: %w", hdrBaseVersion, err)
+	}
+	weight := 0.0
+	if h := r.Header.Get(hdrWeight); h != "" {
+		if weight, err = strconv.ParseFloat(h, 64); err != nil {
+			return Submission{}, fmt.Errorf("bad %s header: %w", hdrWeight, err)
+		}
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUpdateBody))
+	if err != nil {
+		return Submission{}, fmt.Errorf("read update body: %w", err)
+	}
+	dim, _, err := codec.Header(body)
+	if err != nil {
+		return Submission{}, fmt.Errorf("bad tensor body: %w", err)
+	}
+	if want := s.c.global.NumParams(); dim != want {
+		return Submission{}, fmt.Errorf("update declares %d params, want %d", dim, want)
+	}
+	delta, _, err := codec.Decode(body)
+	if err != nil {
+		return Submission{}, fmt.Errorf("bad tensor body: %w", err)
+	}
+	return Submission{
+		DeviceID:    id,
+		RoundID:     round,
+		BaseVersion: base,
+		Weight:      weight,
+		Delta:       delta,
+	}, nil
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

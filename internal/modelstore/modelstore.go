@@ -25,7 +25,8 @@ type Store struct {
 }
 
 // New creates an in-memory store; dir != "" also persists snapshots as
-// name-vNNN.gob files.
+// name-vNNN.fct files (the versioned codec checkpoint format of
+// internal/model and internal/codec).
 func New(dir string) (*Store, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -59,12 +60,18 @@ func (s *Store) Put(name string, m model.Model) (int, error) {
 	v := s.next[name]
 	s.blob[name][v] = buf.Bytes()
 	if s.dir != "" {
-		path := filepath.Join(s.dir, fmt.Sprintf("%s-v%03d.gob", name, v))
+		path := snapshotPath(s.dir, name, v)
 		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 			return 0, fmt.Errorf("modelstore: persist %s: %w", path, err)
 		}
 	}
 	return v, nil
+}
+
+// snapshotPath names a persisted version: .fct, the flint checkpoint
+// tensor extension.
+func snapshotPath(dir, name string, v int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-v%03d.fct", name, v))
 }
 
 // Get retrieves a specific version.
@@ -124,9 +131,14 @@ func (s *Store) Delete(name string, version int) error {
 	}
 	delete(s.blob[name], version)
 	if s.dir != "" {
-		path := filepath.Join(s.dir, fmt.Sprintf("%s-v%03d.gob", name, version))
+		path := snapshotPath(s.dir, name, version)
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("modelstore: remove %s: %w", path, err)
+		}
+		// Directories written before the codec refactor used .gob.
+		legacy := filepath.Join(s.dir, fmt.Sprintf("%s-v%03d.gob", name, version))
+		if err := os.Remove(legacy); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("modelstore: remove %s: %w", legacy, err)
 		}
 	}
 	return nil

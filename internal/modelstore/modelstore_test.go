@@ -1,6 +1,8 @@
 package modelstore
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -69,17 +71,26 @@ func TestPersistence(t *testing.T) {
 	if _, err := s.Put("msg", m); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := filepath.Glob(filepath.Join(dir, "msg-v001.gob")); err != nil {
+	matches, _ := filepath.Glob(filepath.Join(dir, "msg-v*.fct"))
+	if len(matches) != 1 || filepath.Base(matches[0]) != "msg-v001.fct" {
+		t.Fatalf("persisted files: %v", matches)
+	}
+	// The persisted .fct file is a standalone, loadable checkpoint.
+	onDisk, err := os.ReadFile(matches[0])
+	if err != nil {
 		t.Fatal(err)
 	}
-	matches, _ := filepath.Glob(filepath.Join(dir, "msg-v*.gob"))
-	if len(matches) != 1 {
-		t.Fatalf("persisted files: %v", matches)
+	restored, err := model.Load(bytes.NewReader(onDisk))
+	if err != nil {
+		t.Fatalf("persisted checkpoint does not load: %v", err)
+	}
+	if restored.Kind() != model.KindB || restored.Params()[0] != m.Params()[0] {
+		t.Fatal("persisted checkpoint mismatch")
 	}
 	if err := s.Delete("msg", 1); err != nil {
 		t.Fatal(err)
 	}
-	matches, _ = filepath.Glob(filepath.Join(dir, "msg-v*.gob"))
+	matches, _ = filepath.Glob(filepath.Join(dir, "msg-v*.fct"))
 	if len(matches) != 0 {
 		t.Fatalf("file not removed: %v", matches)
 	}

@@ -4,6 +4,7 @@
 package flint_test
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"flint/internal/aggregator"
+	"flint/internal/codec"
 	"flint/internal/coord"
 	"flint/internal/core"
 	"flint/internal/data"
@@ -122,6 +124,92 @@ func BenchmarkSecAggMaskedSum(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sec.MaskedSum(ups, 1519); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------- tensor codec wire format
+
+// codecBenchVector builds a model-B-sized synthetic update (189k params),
+// the dense payload the serving protocol moves per task and per update.
+func codecBenchVector() tensor.Vector {
+	rng := rand.New(rand.NewSource(13))
+	v := tensor.NewVector(189_039)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 0.01
+	}
+	return v
+}
+
+func benchmarkCodecEncode(b *testing.B, s codec.Scheme) {
+	v := codecBenchVector()
+	blob, err := codec.Encode(v, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(blob)), "payload_bytes")
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Encode(v, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecEncodeRaw64(b *testing.B) { benchmarkCodecEncode(b, codec.RawF64) }
+func BenchmarkCodecEncodeF32(b *testing.B)   { benchmarkCodecEncode(b, codec.F32) }
+func BenchmarkCodecEncodeQ8(b *testing.B)    { benchmarkCodecEncode(b, codec.Q8) }
+func BenchmarkCodecEncodeTopK(b *testing.B)  { benchmarkCodecEncode(b, codec.TopK(0)) }
+
+func benchmarkCodecDecode(b *testing.B, s codec.Scheme) {
+	blob, err := codec.Encode(codecBenchVector(), s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := codec.Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodeRaw64(b *testing.B) { benchmarkCodecDecode(b, codec.RawF64) }
+func BenchmarkCodecDecodeF32(b *testing.B)   { benchmarkCodecDecode(b, codec.F32) }
+func BenchmarkCodecDecodeQ8(b *testing.B)    { benchmarkCodecDecode(b, codec.Q8) }
+
+// BenchmarkCodecJSONBaseline is the pre-refactor wire path — a JSON
+// []float64 body — measured with the same vector so payload_bytes lines
+// up against the codec schemes (the ≥4x dense-path reduction claim).
+func BenchmarkCodecJSONBaseline(b *testing.B) {
+	v := codecBenchVector()
+	raw, err := json.Marshal([]float64(v))
+	if err != nil {
+		b.Fatal(err)
+	}
+	once("codec-sizes", func() {
+		fmt.Printf("\nWire formats — %d-param dense update, bytes on the wire:\n", len(v))
+		fmt.Printf("  %-8s %10d bytes\n", "json", len(raw))
+		for _, s := range []codec.Scheme{codec.RawF64, codec.F32, codec.Q8, codec.TopK(0)} {
+			blob, err := codec.Encode(v, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("  %-8s %10d bytes  (%.1fx smaller than json)\n",
+				s, len(blob), float64(len(raw))/float64(len(blob)))
+		}
+	})
+	b.ReportMetric(float64(len(raw)), "payload_bytes")
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal([]float64(v)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,7 +3,9 @@ package flint
 import (
 	"net/http"
 
+	"flint/internal/codec"
 	"flint/internal/coord"
+	"flint/internal/tensor"
 )
 
 // Live serving (the production half of the platform): a wall-clock
@@ -42,3 +44,42 @@ func CoordHandler(c *Coordinator) http.Handler { return coord.NewServer(c) }
 
 // RunFleet drives a simulated device fleet against a running server.
 func RunFleet(cfg FleetConfig) (*FleetReport, error) { return coord.RunFleet(cfg) }
+
+// Binary tensor wire format (internal/codec): the payload encoding shared
+// by model checkpoints, the versioned store, and the serving protocol's
+// /v1/task and /v1/update bodies.
+type (
+	// TensorScheme selects a payload encoding (raw64, f32, q8, topk).
+	TensorScheme = codec.Scheme
+)
+
+// The parameterless tensor schemes; TensorTopK builds the sparse one.
+var (
+	TensorRawF64 = codec.RawF64
+	TensorF32    = codec.F32
+	TensorQ8     = codec.Q8
+)
+
+// TensorContentType is the Content-Type/Accept value that negotiates
+// binary tensor bodies on the /v1 serving API.
+const TensorContentType = coord.ContentTypeTensor
+
+// TensorTopK returns a sparse top-k scheme keeping k entries (0 = dim/32).
+func TensorTopK(k int) TensorScheme { return codec.TopK(k) }
+
+// ParseTensorScheme converts a CLI/wire string ("raw64", "f32", "q8",
+// "topk[:k]") into a scheme.
+func ParseTensorScheme(s string) (TensorScheme, error) { return codec.ParseScheme(s) }
+
+// EncodeTensor serializes a vector under the scheme into a framed,
+// checksummed codec blob.
+func EncodeTensor(v []float64, s TensorScheme) ([]byte, error) {
+	return codec.Encode(tensor.Vector(v), s)
+}
+
+// DecodeTensor parses a codec blob back into a dense vector, reporting
+// the scheme it was encoded with.
+func DecodeTensor(b []byte) ([]float64, TensorScheme, error) {
+	v, s, err := codec.Decode(b)
+	return v, s, err
+}

@@ -45,4 +45,41 @@ func TestServingFacade(t *testing.T) {
 	if c.Version() < rep.EndVersion {
 		t.Fatalf("facade version %d < fleet-observed %d", c.Version(), rep.EndVersion)
 	}
+	// The default fleet speaks the binary protocol; its wire traffic is
+	// visible in the report.
+	if rep.BinaryDevices != 40 || rep.BytesSent == 0 || rep.BytesRecv == 0 {
+		t.Fatalf("wire stats: %d binary devices, %d sent, %d received",
+			rep.BinaryDevices, rep.BytesSent, rep.BytesRecv)
+	}
+}
+
+// TestTensorFacade round-trips the codec exports.
+func TestTensorFacade(t *testing.T) {
+	v := []float64{0.25, -1, 3, 0}
+	s, err := flint.ParseTensorScheme("raw64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != flint.TensorRawF64 {
+		t.Fatalf("parsed scheme %v", s)
+	}
+	blob, err := flint.EncodeTensor(v, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, scheme, err := flint.DecodeTensor(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scheme != flint.TensorRawF64 || len(got) != len(v) {
+		t.Fatalf("decoded scheme %v, %d elems", scheme, len(got))
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("elem %d: %v != %v", i, got[i], v[i])
+		}
+	}
+	if _, err := flint.EncodeTensor(v, flint.TensorTopK(2)); err != nil {
+		t.Fatal(err)
+	}
 }
