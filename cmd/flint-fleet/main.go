@@ -31,20 +31,22 @@ func main() {
 	computeScale := flag.Float64("compute-scale", 1, "scale simulated local-training time (0 disables)")
 	deltaScale := flag.Float64("delta-scale", 0.01, "synthetic update delta magnitude")
 	jsonFraction := flag.Float64("json-fraction", 0, "share of devices kept on the legacy JSON protocol (0 = all binary, 1 = all JSON)")
+	legacyFraction := flag.Float64("legacy-fraction", 0, "share of devices on pre-negotiation binary (full broadcast, no scheme advertisement)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
 
 	rep, err := coord.RunFleet(coord.FleetConfig{
-		BaseURL:      *server,
-		Devices:      *devices,
-		Rounds:       *rounds,
-		Seed:         *seed,
-		ThinkTime:    *think,
-		ComputeScale: *computeScale,
-		DeltaScale:   *deltaScale,
-		JSONFraction: *jsonFraction,
-		Timeout:      *timeout,
+		BaseURL:        *server,
+		Devices:        *devices,
+		Rounds:         *rounds,
+		Seed:           *seed,
+		ThinkTime:      *think,
+		ComputeScale:   *computeScale,
+		DeltaScale:     *deltaScale,
+		JSONFraction:   *jsonFraction,
+		LegacyFraction: *legacyFraction,
+		Timeout:        *timeout,
 	})
 	if rep != nil {
 		if *jsonOut {
@@ -60,9 +62,15 @@ func main() {
 					st.Mode, st.ModelKind, st.Counters["rounds_committed"],
 					st.Counters["rounds_abandoned"], st.Counters["update_accepted"],
 					st.Counters["update_rejected_busy"])
-				fmt.Printf("  protocol: %d binary tasks, %d json tasks, %d binary updates, %d json updates\n",
-					st.Counters["task_sent_binary"], st.Counters["task_sent_json"],
+				fmt.Printf("  protocol: %d binary tasks (%d delta), %d json tasks, %d binary updates, %d json updates\n",
+					st.Counters["task_sent_binary"], st.Counters["task_sent_delta"],
+					st.Counters["task_sent_json"],
 					st.Counters["update_recv_binary"], st.Counters["update_recv_json"])
+				fmt.Printf("  downlink: %.2f MiB full broadcast, %.2f MiB delta (%d cache hits, %d misses, %d aged bases)\n",
+					float64(st.Counters["broadcast_bytes_full"])/(1<<20),
+					float64(st.Counters["broadcast_bytes_delta"])/(1<<20),
+					st.Counters["delta_cache_hits"], st.Counters["delta_cache_misses"],
+					st.Counters["delta_base_aged"])
 			}
 		}
 	}

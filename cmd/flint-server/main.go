@@ -15,6 +15,7 @@ import (
 	"flint/internal/codec"
 	"flint/internal/coord"
 	"flint/internal/model"
+	"flint/internal/transport"
 )
 
 func main() {
@@ -38,8 +39,13 @@ func main() {
 	serverLR := flag.Float64("server-lr", 1, "async FedBuff server learning rate")
 	alpha := flag.Float64("alpha", 0.5, "async FedBuff staleness-discount exponent")
 	localSteps := flag.Int("local-steps", 20, "local training steps hint sent to devices")
-	taskScheme := flag.String("task-scheme", "f32", "binary broadcast encoding for /v1/task: raw64, f32, q8, or topk[:k]")
-	updateScheme := flag.String("update-scheme", "q8", "delta encoding binary devices use on /v1/update: raw64, f32, q8, or topk[:k]")
+	taskScheme := flag.String("task-scheme", "f32", "default cohort: broadcast encoding for /v1/task (raw64, f32, q8, or topk[:k])")
+	updateScheme := flag.String("update-scheme", "q8", "default cohort: delta encoding binary devices use on /v1/update")
+	deltaScheme := flag.String("delta-scheme", "q8", "default cohort: delta-broadcast encoding served against a device's last-seen version")
+	lowbwTaskScheme := flag.String("lowbw-task-scheme", "topk", "low-bandwidth cohort: broadcast encoding for /v1/task")
+	lowbwUpdateScheme := flag.String("lowbw-update-scheme", "q8", "low-bandwidth cohort: /v1/update delta encoding")
+	lowbwDeltaScheme := flag.String("lowbw-delta-scheme", "topk", "low-bandwidth cohort: delta-broadcast encoding")
+	deltaHistory := flag.Int("delta-history", 8, "published versions retained as delta-broadcast bases (negative disables delta broadcast)")
 	storeDir := flag.String("store-dir", "", "persist published model versions to this directory")
 	keepVersions := flag.Int("keep-versions", 8, "published model versions to retain (negative keeps all)")
 	statusEvery := flag.Duration("status-every", 5*time.Second, "periodic status log interval (0 disables)")
@@ -49,13 +55,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ts, err := codec.ParseScheme(*taskScheme)
-	if err != nil {
-		log.Fatal(err)
+	scheme := func(flagName, value string) codec.Scheme {
+		s, err := codec.ParseScheme(value)
+		if err != nil {
+			log.Fatalf("-%s: %v", flagName, err)
+		}
+		return s
 	}
-	us, err := codec.ParseScheme(*updateScheme)
-	if err != nil {
-		log.Fatal(err)
+	transportCfg := transport.Config{
+		Default: transport.Policy{
+			Task:   scheme("task-scheme", *taskScheme),
+			Update: scheme("update-scheme", *updateScheme),
+			Delta:  scheme("delta-scheme", *deltaScheme),
+		},
+		LowBW: transport.Policy{
+			Task:   scheme("lowbw-task-scheme", *lowbwTaskScheme),
+			Update: scheme("lowbw-update-scheme", *lowbwUpdateScheme),
+			Delta:  scheme("lowbw-delta-scheme", *lowbwDeltaScheme),
+		},
+		DeltaHistory: *deltaHistory,
 	}
 	cfg := coord.Config{
 		Mode:           m,
@@ -79,8 +97,7 @@ func main() {
 		ServerLR:       *serverLR,
 		StalenessAlpha: *alpha,
 		LocalSteps:     *localSteps,
-		TaskScheme:     ts,
-		UpdateScheme:   us,
+		Transport:      transportCfg,
 		StoreDir:       *storeDir,
 		KeepVersions:   *keepVersions,
 	}
@@ -105,8 +122,10 @@ func main() {
 	fmt.Printf("flint-server: %s mode, model %s (%d params), target %d, quorum %d, deadline %s\n",
 		eff.Mode, eff.ModelKind, mustParams(eff.ModelKind, eff.Seed),
 		eff.TargetUpdates, eff.Quorum, eff.RoundDeadline)
-	fmt.Printf("wire: %s broadcast, %s uplink deltas (binary clients; JSON fallback stays on)\n",
-		eff.TaskScheme, eff.UpdateScheme)
+	tr := eff.Transport
+	fmt.Printf("wire: default cohort %s broadcast / %s uplink / %s delta; lowbw cohort %s / %s / %s; delta history %d\n",
+		tr.Default.Task, tr.Default.Update, tr.Default.Delta,
+		tr.LowBW.Task, tr.LowBW.Update, tr.LowBW.Delta, tr.DeltaHistory)
 	fmt.Printf("listening on %s (POST /v1/checkin, GET /v1/task, POST /v1/update, GET /v1/status)\n", *addr)
 	log.Fatal(coord.NewServer(c).ListenAndServe(*addr))
 }

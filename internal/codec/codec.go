@@ -10,7 +10,8 @@
 //	0       3     magic "FCT" (Flint Codec Tensor)
 //	3       1     format version (currently 1)
 //	4       1     scheme kind
-//	5       3     reserved (zero)
+//	5       1     flags (bit 0: delta frame)
+//	6       2     reserved (zero)
 //	8       4     element count (uint32)
 //	12      4     IEEE CRC-32 of the payload
 //	16      —     payload
@@ -20,6 +21,13 @@
 // budgets): lossless raw float64 for checkpoints, float32 for model
 // broadcast, int8 per-chunk-scale quantization for uplink deltas, and
 // sparse top-k for very large or very sparse updates.
+//
+// Any scheme can additionally be framed as a *delta*: the payload encodes
+// the difference against a base vector the receiver already holds (the
+// downlink mirror of the uplink's update deltas). Delta frames are marked
+// by a header flag bit; EncodeDelta produces them and ApplyDelta folds one
+// into the receiver's base. Decode accepts delta frames too and returns
+// the raw difference vector.
 package codec
 
 import (
@@ -51,6 +59,13 @@ const (
 	// elements shares one float32 scale, so outliers only hurt their
 	// own block, not the whole vector.
 	q8Chunk = 256
+
+	// flagDelta marks a blob whose payload encodes a difference against
+	// a base vector rather than the vector itself. It lives in the
+	// header's flags byte (offset 5, formerly reserved); pre-delta
+	// decoders ignore that byte, which is safe because delta frames are
+	// only ever sent to receivers that asked for one.
+	flagDelta = 0x01
 )
 
 // Kind identifies one payload encoding.
@@ -158,6 +173,7 @@ var (
 	ErrDim      = errors.New("codec: element count out of range")
 	ErrPayload  = errors.New("codec: payload length mismatch")
 	ErrChecksum = errors.New("codec: payload checksum mismatch")
+	ErrNotDelta = errors.New("codec: blob is not a delta frame")
 )
 
 // Encode serializes v under the scheme and returns the framed blob.
@@ -318,6 +334,49 @@ func encodeTopK(v tensor.Vector, k int) []byte {
 		binary.LittleEndian.PutUint32(payload[4+4*k+4*i:], math.Float32bits(float32(v[j])))
 	}
 	return payload
+}
+
+// EncodeDelta serializes diff — a difference against some base vector the
+// receiver already holds — under the scheme and returns the blob with the
+// delta flag set. The base's identity (which published version it was)
+// travels out of band; the frame only records that its payload is a
+// difference, so a delta blob can never be mistaken for a full vector by
+// a receiver that checks IsDelta.
+func EncodeDelta(diff tensor.Vector, s Scheme) ([]byte, error) {
+	blob, err := Encode(diff, s)
+	if err != nil {
+		return nil, err
+	}
+	blob[5] |= flagDelta
+	return blob, nil
+}
+
+// IsDelta reports whether the blob carries the delta-frame flag. It is a
+// cheap peek: the blob must at least open with a valid magic for the
+// answer to be meaningful, but full validation is left to Decode.
+func IsDelta(blob []byte) bool {
+	return len(blob) >= headerSize && string(blob[:3]) == Magic && blob[5]&flagDelta != 0
+}
+
+// ApplyDelta decodes a delta frame and folds it into base, returning
+// base + diff as a fresh vector (base is not mutated) plus the scheme the
+// difference was encoded with. The frame's dimension must match the base:
+// a delta against a different model shape is a protocol error, not a
+// resize.
+func ApplyDelta(base tensor.Vector, blob []byte) (tensor.Vector, Scheme, error) {
+	diff, s, err := Decode(blob)
+	if err != nil {
+		return nil, Scheme{}, err
+	}
+	if !IsDelta(blob) {
+		return nil, Scheme{}, ErrNotDelta
+	}
+	if len(diff) != len(base) {
+		return nil, Scheme{}, fmt.Errorf("%w: delta dim %d against base dim %d", ErrPayload, len(diff), len(base))
+	}
+	out := base.Clone()
+	out.Add(diff)
+	return out, s, nil
 }
 
 // Header peeks a blob's declared element count and scheme without

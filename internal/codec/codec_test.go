@@ -269,3 +269,139 @@ func TestPayloadSizeVsJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestDeltaRoundTrip checks the delta frame across every scheme: a raw64
+// delta reproduces new = base + diff exactly; lossy schemes stay within
+// their usual error bounds; and the frame is distinguishable from a full
+// blob at every layer (IsDelta, ApplyDelta's ErrNotDelta).
+func TestDeltaRoundTrip(t *testing.T) {
+	base := randVec(1519, 3, 1.0)
+	cur := base.Clone()
+	step := randVec(1519, 4, 0.01)
+	cur.Add(step)
+	diff := cur.Clone()
+	diff.Sub(base)
+	for _, s := range []Scheme{RawF64, F32, Q8, TopK(0)} {
+		blob, err := EncodeDelta(diff, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !IsDelta(blob) {
+			t.Fatalf("%v: delta blob not flagged", s)
+		}
+		// The frame still decodes as a plain blob (to the raw diff).
+		decoded, ds, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("%v: decode delta frame: %v", s, err)
+		}
+		if ds.Kind != s.Kind || len(decoded) != len(diff) {
+			t.Fatalf("%v: decoded scheme %v dim %d", s, ds, len(decoded))
+		}
+		got, _, err := ApplyDelta(base, blob)
+		if err != nil {
+			t.Fatalf("%v: apply: %v", s, err)
+		}
+		if s == RawF64 {
+			for i := range got {
+				if got[i] != cur[i] {
+					t.Fatalf("raw64 delta not exact at %d: %g != %g", i, got[i], cur[i])
+				}
+			}
+			continue
+		}
+		// Lossy schemes: the reconstruction error is bounded by the
+		// scheme's own error on the diff, never the base (which is
+		// carried exactly).
+		maxErr := 0.0
+		for i := range got {
+			if e := math.Abs(got[i] - cur[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		bound := 0.05 // generous: topk drops most of a dense small diff
+		if maxErr > bound {
+			t.Fatalf("%v: delta reconstruction error %g > %g", s, maxErr, bound)
+		}
+	}
+}
+
+// TestDeltaErrors pins the delta frame's failure contract.
+func TestDeltaErrors(t *testing.T) {
+	base := randVec(64, 5, 1)
+	diff := randVec(64, 6, 0.01)
+
+	// A full blob is not a delta: flagless ApplyDelta must refuse.
+	full, err := Encode(diff, F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsDelta(full) {
+		t.Fatal("full blob reports IsDelta")
+	}
+	if _, _, err := ApplyDelta(base, full); !errors.Is(err, ErrNotDelta) {
+		t.Fatalf("ApplyDelta(full blob) = %v, want ErrNotDelta", err)
+	}
+
+	// Dimension mismatch against the base is a protocol error.
+	blob, err := EncodeDelta(diff, F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ApplyDelta(base[:32], blob); !errors.Is(err, ErrPayload) {
+		t.Fatalf("ApplyDelta(wrong base dim) = %v, want ErrPayload", err)
+	}
+
+	// Corruption is still caught underneath the delta flag.
+	corrupt := append([]byte(nil), blob...)
+	corrupt[20] ^= 0xFF
+	if _, _, err := ApplyDelta(base, corrupt); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("ApplyDelta(corrupt) = %v, want ErrChecksum", err)
+	}
+
+	// Garbage is rejected before any base math happens.
+	if _, _, err := ApplyDelta(base, []byte("nonsense")); err == nil {
+		t.Fatal("ApplyDelta(garbage) accepted")
+	}
+}
+
+// TestDeltaDoesNotMutateBase guards ApplyDelta's value semantics: callers
+// cache base vectors (the coordinator's version ring, fleet devices'
+// last-applied params), so folding a delta in place would corrupt them.
+func TestDeltaDoesNotMutateBase(t *testing.T) {
+	base := randVec(256, 7, 1)
+	snapshot := base.Clone()
+	diff := randVec(256, 8, 1)
+	blob, err := EncodeDelta(diff, RawF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ApplyDelta(base, blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i] != snapshot[i] {
+			t.Fatalf("base mutated at %d", i)
+		}
+	}
+}
+
+// TestDeltaDownlinkReduction pins the delta-broadcast headline claim on
+// the 189k-param model (zoo model B's dimension): a q8 delta frame is at
+// least 3x smaller than the full f32 broadcast it replaces.
+func TestDeltaDownlinkReduction(t *testing.T) {
+	const dim = 189_039
+	cur := randVec(dim, 21, 0.05)
+	diff := randVec(dim, 22, 0.001) // one committed round's movement
+	full, err := Encode(cur, F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := EncodeDelta(diff, Q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(full)) / float64(len(delta)); ratio < 3 {
+		t.Fatalf("delta downlink reduction %.2fx (full %d bytes, delta %d bytes), want >= 3x",
+			ratio, len(full), len(delta))
+	}
+}

@@ -41,3 +41,54 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzApplyDelta hammers the delta frame: arbitrary bytes applied to a
+// fixed base must never panic, a successful apply must have matched the
+// base's dimension and carried the delta flag, and the result must be
+// exactly base + decoded diff.
+func FuzzApplyDelta(f *testing.F) {
+	base := tensor.Vector{1, -2, 0.5, 3e4, -7e-3, 0, 11, 0.25}
+	diff := tensor.Vector{0.1, 0.2, -0.3, 1, -1, 0.004, -12, 0}
+	for _, s := range []Scheme{RawF64, F32, Q8, TopK(2)} {
+		blob, err := EncodeDelta(diff, s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		f.Add(blob[:len(blob)-2]) // truncated payload
+		unflagged, err := Encode(diff, s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(unflagged) // full frame: must be refused, not applied
+		short, err := EncodeDelta(diff[:3], s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(short) // wrong dimension for the base
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, s, err := ApplyDelta(base, b)
+		if err != nil {
+			return
+		}
+		if !IsDelta(b) {
+			t.Fatal("ApplyDelta accepted a blob without the delta flag")
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("applied invalid scheme %v: %v", s, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("applied dim %d, base dim %d", len(got), len(base))
+		}
+		d, _, err := Decode(b)
+		if err != nil {
+			t.Fatalf("blob applied but does not decode: %v", err)
+		}
+		for i := range got {
+			if want := base[i] + d[i]; got[i] != want && !(got[i] != got[i] && want != want) {
+				t.Fatalf("apply[%d] = %g, want base+diff = %g", i, got[i], want)
+			}
+		}
+	})
+}

@@ -27,8 +27,8 @@ import (
 	"time"
 
 	"flint/internal/availability"
-	"flint/internal/codec"
 	"flint/internal/model"
+	"flint/internal/transport"
 )
 
 // Mode selects the training protocol the coordinator runs.
@@ -94,15 +94,14 @@ type Config struct {
 	ServerLR       float64
 	StalenessAlpha float64
 
-	// TaskScheme is the codec encoding of the published-parameter
-	// broadcast served to binary clients on /v1/task (default f32). The
-	// encoded blob is cached and re-encoded once per commit.
-	TaskScheme codec.Scheme
-	// UpdateScheme is the delta encoding the server asks binary devices
-	// to use on /v1/update (default q8: int8 per-chunk-scale
-	// quantization, the uplink side of the paper's network-cost
-	// constraint). JSON clients ignore it.
-	UpdateScheme codec.Scheme
+	// Transport defines the per-cohort wire-scheme policies and the
+	// delta-broadcast window (internal/transport). Scheme selection is
+	// no longer a global knob: each device is classified into a cohort
+	// at check-in and negotiation constrains the cohort policy to the
+	// schemes the device advertised it can decode. The zero value gets
+	// transport defaults (default cohort f32/q8/q8, low-bandwidth
+	// cohort topk/q8/topk, 8 versions of delta history).
+	Transport transport.Config
 
 	// LocalSteps is the per-task local training step count hint sent to
 	// devices.
@@ -189,15 +188,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.LocalSteps <= 0 {
 		c.LocalSteps = 20
 	}
-	if c.TaskScheme.Kind == codec.KindInvalid {
-		c.TaskScheme = codec.F32
-	} else if err := c.TaskScheme.Validate(); err != nil {
-		return c, fmt.Errorf("coord: task scheme: %w", err)
-	}
-	if c.UpdateScheme.Kind == codec.KindInvalid {
-		c.UpdateScheme = codec.Q8
-	} else if err := c.UpdateScheme.Validate(); err != nil {
-		return c, fmt.Errorf("coord: update scheme: %w", err)
+	var err error
+	if c.Transport, err = c.Transport.WithDefaults(); err != nil {
+		return c, fmt.Errorf("coord: %w", err)
 	}
 	if c.KeepVersions == 0 {
 		c.KeepVersions = 8

@@ -14,6 +14,7 @@ import (
 	"flint/internal/model"
 	"flint/internal/modelstore"
 	"flint/internal/tensor"
+	"flint/internal/transport"
 )
 
 // Sentinel errors surfaced to transports.
@@ -40,15 +41,44 @@ type Task struct {
 	// The slice is shared and must be treated as read-only.
 	Dim    int
 	Params tensor.Vector
-	// EncodedParams is the codec blob of Params under the server's task
-	// scheme, encoded once per commit and shared read-only across every
-	// request (nil when the server is configured not to embed params).
+	// EncodedParams is the codec blob binary devices receive: the full
+	// parameter vector under TaskScheme, or — when DeltaBase is set — a
+	// delta frame against that published version. Blobs are cached per
+	// (version, scheme) and shared read-only across requests (nil when
+	// the server is configured not to embed params or the client didn't
+	// negotiate the binary protocol).
 	EncodedParams []byte
+	// TaskScheme is the encoding EncodedParams was produced under (the
+	// negotiated cohort's broadcast or delta scheme).
+	TaskScheme codec.Scheme
+	// DeltaBase, when > 0, marks EncodedParams as a delta frame to be
+	// applied against the device's copy of that published version.
+	DeltaBase int
+	// Cohort names the transport cohort the device negotiated into.
+	Cohort string
 	// UpdateScheme is the delta encoding the server asks binary devices
 	// to use when submitting this task's result.
 	UpdateScheme codec.Scheme
 	LocalSteps   int
 	Deadline     time.Time
+}
+
+// TaskQuery is the transport context a device sends with a task request:
+// its last-seen model version (the delta-broadcast base), an optional
+// per-request capability list overriding its check-in advertisement, and
+// whether it negotiated the binary protocol at all (JSON clients skip
+// blob encoding entirely).
+type TaskQuery struct {
+	// BaseVersion is the published version the device already holds
+	// (0 = none): when it is still in the coordinator's version ring,
+	// the task ships a delta frame instead of the full vector.
+	BaseVersion int
+	// Accept overrides the device's check-in capability list for this
+	// request when non-nil (the X-Flint-Accept-Schemes header echo).
+	Accept []codec.Kind
+	// Binary marks a tensor-protocol client; only those receive
+	// EncodedParams.
+	Binary bool
 }
 
 // Submission is one device's completed task result.
@@ -66,6 +96,11 @@ type CheckInResult struct {
 	Eligible bool
 	Version  int
 	RoundID  uint64
+	// Cohort and Policy report the transport assignment negotiated from
+	// the device's advertised platform/connectivity and capability
+	// list, so clients learn their schemes up front.
+	Cohort string
+	Policy transport.Policy
 }
 
 // RoundStatus is the externally visible state of the current round.
@@ -100,35 +135,59 @@ type StatusReport struct {
 // submissions flow through a bounded queue drained by a single ingest
 // worker, which serializes round mutation and aggregation.
 type Coordinator struct {
-	cfg      Config
-	reg      *Registry
-	store    *modelstore.Store
-	strategy aggregator.Strategy
-	counters *metrics.CounterSet
+	cfg        Config
+	reg        *Registry
+	store      *modelstore.Store
+	strategy   aggregator.Strategy
+	counters   *metrics.CounterSet
+	negotiator *transport.Negotiator
 
 	// version and roundID mirror the mu-guarded state for lock-free
 	// reads on the check-in path.
 	version atomic.Int64
 	roundID atomic.Uint64
 
-	mu sync.Mutex // guards round, global, published, history
+	mu sync.Mutex // guards round, global, published, blobs, ring, deltas, history
 	// global is the trainable model whose flat params aggregation
 	// mutates.
 	global model.Model
 	// published is an immutable snapshot of the params at `version`;
 	// task responses share it read-only, so serving never copies.
 	published tensor.Vector
-	// publishedBlob is `published` pre-encoded under cfg.TaskScheme:
-	// the binary broadcast is paid once per commit, not once per
-	// /v1/task request.
-	publishedBlob []byte
-	round         *Round
-	history       []RoundSummary
+	// blobs caches `published` encoded per broadcast scheme for the
+	// current version: the default cohort's scheme is paid once per
+	// commit, other cohorts' lazily on first request, and never once
+	// per /v1/task.
+	blobs map[codec.Scheme][]byte
+	// ring retains the last Transport.DeltaHistory published versions
+	// (ascending, newest last) as delta-broadcast bases. Entries share
+	// the published snapshots; all read-only.
+	ring []ringEntry
+	// deltas caches encoded delta frames from a ring base to the
+	// current version, keyed per (base, scheme) the way blobs caches
+	// the full broadcast. Reset on every commit.
+	deltas  map[deltaKey][]byte
+	round   *Round
+	history []RoundSummary
 
 	ingest chan Submission
 	done   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
+}
+
+// ringEntry is one retained published version.
+type ringEntry struct {
+	version int
+	params  tensor.Vector
+}
+
+// deltaKey addresses one cached delta frame: the base it applies against
+// and the scheme it is encoded with (the current version is implicit —
+// the cache is cleared on commit).
+type deltaKey struct {
+	base   int
+	scheme codec.Scheme
 }
 
 // New builds and starts a coordinator: it initializes the model, publishes
@@ -147,14 +206,19 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	negotiator, err := transport.NewNegotiator(cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
 	c := &Coordinator{
-		cfg:      cfg,
-		reg:      NewRegistry(cfg.RegistryShards, cfg.DeviceTTL),
-		store:    store,
-		counters: metrics.NewCounterSet(),
-		global:   m,
-		ingest:   make(chan Submission, cfg.QueueDepth),
-		done:     make(chan struct{}),
+		cfg:        cfg,
+		reg:        NewRegistry(cfg.RegistryShards, cfg.DeviceTTL),
+		store:      store,
+		counters:   metrics.NewCounterSet(),
+		negotiator: negotiator,
+		global:     m,
+		ingest:     make(chan Submission, cfg.QueueDepth),
+		done:       make(chan struct{}),
 	}
 	switch cfg.Mode {
 	case ModeSync:
@@ -168,12 +232,33 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	c.version.Store(int64(v))
 	c.published = m.Params().Clone()
+	c.blobs = make(map[codec.Scheme][]byte)
+	c.deltas = make(map[deltaKey][]byte)
 	if !cfg.OmitParams {
-		// With OmitParams the blob is never served, so skip the encode —
-		// it costs O(dim) work and allocation per publish.
-		if c.publishedBlob, err = codec.Encode(c.published, cfg.TaskScheme); err != nil {
+		// With OmitParams no blob is ever served, so skip the encode —
+		// it costs O(dim) work and allocation per publish. Otherwise
+		// pay the default cohort's broadcast eagerly (the common-path
+		// scheme); other cohorts' blobs fill in lazily per commit.
+		blob, err := codec.Encode(c.published, cfg.Transport.Default.Task)
+		if err != nil {
 			return nil, err
 		}
+		c.blobs[cfg.Transport.Default.Task] = blob
+		if cfg.Transport.DeltaHistory > 0 {
+			c.ring = append(c.ring, ringEntry{version: v, params: c.published})
+		}
+	}
+	// Pre-register the downlink wire-stat counters so /v1/status always
+	// carries them (a dashboard shouldn't have to guess whether a zero
+	// is "no deltas yet" or "too old a server").
+	for _, name := range []string{
+		"broadcast_bytes_full", "broadcast_bytes_delta",
+		"delta_cache_hits", "delta_cache_misses", "delta_base_aged",
+		"task_sent_delta", "transport_fallback_f32", "update_rejected_oversize",
+		"checkin_unknown_scheme", "task_unknown_scheme",
+		"task_cohort_" + transport.CohortDefault, "task_cohort_" + transport.CohortLowBW,
+	} {
+		c.counters.Counter(name)
 	}
 	c.round = c.newRoundLocked(1, v, cfg.Clock())
 	c.roundID.Store(1)
@@ -212,8 +297,9 @@ func (c *Coordinator) Store() *modelstore.Store { return c.store }
 // Version returns the latest published model version.
 func (c *Coordinator) Version() int { return int(c.version.Load()) }
 
-// CheckIn registers or refreshes a device and reports its eligibility under
-// the serving criteria. O(1): one shard lock, no coordinator lock.
+// CheckIn registers or refreshes a device, negotiates its transport
+// cohort, and reports its eligibility under the serving criteria. O(1):
+// one shard lock, no coordinator lock.
 func (c *Coordinator) CheckIn(info DeviceInfo) CheckInResult {
 	now := c.cfg.Clock()
 	isNew := c.reg.CheckIn(info, now)
@@ -222,12 +308,30 @@ func (c *Coordinator) CheckIn(info DeviceInfo) CheckInResult {
 	if eligible {
 		c.counters.Counter("checkin_eligible").Inc()
 	}
+	dec := c.negotiate(info, nil)
+	if dec.Fallback {
+		// The device advertised a capability list with nothing this
+		// server can honor; it is served the f32 universal baseline.
+		c.counters.Counter("transport_fallback_f32").Inc()
+	}
 	return CheckInResult{
 		New:      isNew,
 		Eligible: eligible,
 		Version:  int(c.version.Load()),
 		RoundID:  c.roundID.Load(),
+		Cohort:   dec.Cohort,
+		Policy:   dec.Policy,
 	}
+}
+
+// negotiate maps a device's reported state (plus an optional per-request
+// capability override) to its transport decision. Pure and lock-free.
+func (c *Coordinator) negotiate(info DeviceInfo, acceptOverride []codec.Kind) transport.Decision {
+	d := transport.Device{Platform: info.Platform, WiFi: info.WiFi, Accept: info.Accept}
+	if acceptOverride != nil {
+		d.Accept = acceptOverride
+	}
+	return c.negotiator.Negotiate(d)
 }
 
 // Heartbeat refreshes liveness for a checked-in device.
@@ -239,14 +343,27 @@ func (c *Coordinator) Heartbeat(id int64) error {
 	return nil
 }
 
-// RequestTask hands the device the current round's task if the round has
-// assignment budget and the device is live, idle, and admitted by the
-// criteria. Returns ErrNoTask when the device should poll again later.
+// RequestTask hands the device the current round's task with full
+// broadcast semantics — the pre-negotiation entry point, kept for
+// embedders and tests. Equivalent to RequestTaskWith(id, TaskQuery{
+// Binary: true}).
 func (c *Coordinator) RequestTask(deviceID int64) (Task, error) {
+	return c.RequestTaskWith(deviceID, TaskQuery{Binary: true})
+}
+
+// RequestTaskWith hands the device the current round's task if the round
+// has assignment budget and the device is live, idle, and admitted by
+// the criteria, negotiating the wire schemes from the device's cohort
+// and capability list. When the query carries a base version still in
+// the version ring, the task ships a codec delta frame instead of the
+// full vector. Returns ErrNoTask when the device should poll again
+// later.
+func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error) {
 	now := c.cfg.Clock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.reg.Get(deviceID); !ok {
+	info, ok := c.reg.Get(deviceID)
+	if !ok {
 		// Identity errors stay stable regardless of round budget.
 		return Task{}, ErrUnknownDevice
 	}
@@ -264,20 +381,135 @@ func (c *Coordinator) RequestTask(deviceID int64) (Task, error) {
 		return Task{}, err
 	}
 	c.counters.Counter("task_assigned").Inc()
+	dec := c.negotiate(info, q.Accept)
+	c.counters.Counter("task_cohort_" + dec.Cohort).Inc()
+	if dec.Fallback {
+		// Counted here as well as at check-in: a per-request capability
+		// echo can force the fallback on a device whose check-in looked
+		// fine, and operators need to see that degradation.
+		c.counters.Counter("transport_fallback_f32").Inc()
+	}
 	t := Task{
 		RoundID:      r.ID,
 		BaseVersion:  r.BaseVersion,
 		ModelKind:    c.cfg.ModelKind,
 		Dim:          len(c.published),
-		UpdateScheme: c.cfg.UpdateScheme,
+		TaskScheme:   dec.Policy.Task,
+		Cohort:       dec.Cohort,
+		UpdateScheme: dec.Policy.Update,
 		LocalSteps:   c.cfg.LocalSteps,
 		Deadline:     r.Deadline,
 	}
-	if !c.cfg.OmitParams {
-		t.Params = c.published
-		t.EncodedParams = c.publishedBlob
+	if c.cfg.OmitParams {
+		return t, nil
 	}
+	t.Params = c.published
+	if !q.Binary {
+		// JSON clients take Params through the per-version JSON cache;
+		// don't pay a blob encode they will never read.
+		return t, nil
+	}
+	version := int(c.version.Load())
+	if q.BaseVersion > 0 && q.BaseVersion <= version && c.cfg.Transport.DeltaHistory > 0 {
+		// An up-to-date device gets a one-entry sparse "no change" frame
+		// (~30 bytes) — but only when it can decode topk; a constrained
+		// client keeps its negotiated delta scheme, never one outside
+		// its advertised list.
+		noChange := dec.Policy.Delta
+		if acceptsKind(q.Accept, info.Accept, codec.KindTopK) {
+			noChange = codec.TopK(1)
+		}
+		if blob, ok := c.deltaBlobLocked(q.BaseVersion, dec.Policy.Delta, noChange); ok {
+			t.EncodedParams = blob
+			t.TaskScheme = dec.Policy.Delta
+			t.DeltaBase = q.BaseVersion
+			return t, nil
+		}
+		// The base aged out of the ring (or negotiation disabled
+		// deltas): fall back to the full broadcast.
+		c.counters.Counter("delta_base_aged").Inc()
+	}
+	blob, err := c.fullBlobLocked(dec.Policy.Task)
+	if err != nil {
+		// Encoding the broadcast failed (cannot happen for validated
+		// schemes and in-range models, but the task would be useless):
+		// idle the device again; the round's overcommit budget absorbs
+		// the orphaned assignment like any dropped task.
+		c.reg.Release(deviceID)
+		return Task{}, err
+	}
+	t.EncodedParams = blob
 	return t, nil
+}
+
+// fullBlobLocked returns the current published vector encoded under s,
+// paying the encode once per (version, scheme). Callers hold c.mu.
+func (c *Coordinator) fullBlobLocked(s codec.Scheme) ([]byte, error) {
+	if blob, ok := c.blobs[s]; ok {
+		return blob, nil
+	}
+	blob, err := codec.Encode(c.published, s)
+	if err != nil {
+		return nil, err
+	}
+	c.blobs[s] = blob
+	return blob, nil
+}
+
+// acceptsKind reports whether the effective capability list — the
+// per-request override when present, else the check-in advertisement
+// (nil = legacy client, decodes everything) — includes k.
+func acceptsKind(override, advertised []codec.Kind, k codec.Kind) bool {
+	list := override
+	if list == nil {
+		list = advertised
+	}
+	if list == nil {
+		return true
+	}
+	for _, a := range list {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}
+
+// deltaBlobLocked returns the delta frame base→current under s, encoding
+// and caching it per (base, scheme) on first use. A base equal to the
+// current version is encoded under noChange instead (the caller picks the
+// cheapest scheme the device can decode for an all-zero diff). ok is
+// false when the base is no longer in the version ring. Callers hold
+// c.mu.
+func (c *Coordinator) deltaBlobLocked(base int, s, noChange codec.Scheme) ([]byte, bool) {
+	if base == int(c.version.Load()) {
+		s = noChange
+	}
+	key := deltaKey{base: base, scheme: s}
+	if blob, ok := c.deltas[key]; ok {
+		c.counters.Counter("delta_cache_hits").Inc()
+		return blob, true
+	}
+	var baseParams tensor.Vector
+	found := false
+	for _, e := range c.ring {
+		if e.version == base {
+			baseParams, found = e.params, true
+			break
+		}
+	}
+	if !found || len(baseParams) != len(c.published) {
+		return nil, false
+	}
+	diff := c.published.Clone()
+	diff.Sub(baseParams)
+	blob, err := codec.EncodeDelta(diff, s)
+	if err != nil {
+		return nil, false
+	}
+	c.counters.Counter("delta_cache_misses").Inc()
+	c.deltas[key] = blob
+	return blob, true
 }
 
 // SubmitUpdate validates a device update and enqueues it for the ingest
@@ -464,14 +696,16 @@ func (c *Coordinator) commitLocked(now time.Time) {
 		c.finishLocked(r, 0, now)
 		return
 	}
-	// Re-encode the broadcast blob once here so no /v1/task request ever
-	// pays for encoding. Failing to encode is a publish failure: devices
-	// could no longer fetch the version we'd be announcing. OmitParams
-	// servers never serve the blob, so they skip the encode entirely.
+	// Re-encode the default cohort's broadcast blob once here so the
+	// common /v1/task path never pays for encoding (other cohorts'
+	// schemes and delta frames fill their caches lazily). Failing to
+	// encode is a publish failure: devices could no longer fetch the
+	// version we'd be announcing. OmitParams servers never serve the
+	// blob, so they skip the encode entirely.
 	var blob []byte
 	if !c.cfg.OmitParams {
 		var err error
-		if blob, err = codec.Encode(c.global.Params(), c.cfg.TaskScheme); err != nil {
+		if blob, err = codec.Encode(c.global.Params(), c.cfg.Transport.Default.Task); err != nil {
 			c.counters.Counter("round_publish_error").Inc()
 			_ = r.advance(PhaseAbandoned)
 			c.finishLocked(r, 0, now)
@@ -498,7 +732,20 @@ func (c *Coordinator) commitLocked(now time.Time) {
 		}
 	}
 	c.published = c.global.Params().Clone()
-	c.publishedBlob = blob
+	c.blobs = make(map[codec.Scheme][]byte)
+	c.deltas = make(map[deltaKey][]byte)
+	if !c.cfg.OmitParams {
+		c.blobs[c.cfg.Transport.Default.Task] = blob
+		if k := c.cfg.Transport.DeltaHistory; k > 0 {
+			// The ring shares the published snapshot (read-only); trim
+			// to the newest K entries so delta bases age out instead of
+			// accumulating a full model per commit forever.
+			c.ring = append(c.ring, ringEntry{version: v, params: c.published})
+			if len(c.ring) > k {
+				c.ring = append(c.ring[:0], c.ring[len(c.ring)-k:]...)
+			}
+		}
+	}
 	c.version.Store(int64(v))
 	c.counters.Counter("rounds_committed").Inc()
 	c.counters.Counter("updates_aggregated").Add(int64(len(r.updates)))

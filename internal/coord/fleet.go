@@ -20,6 +20,7 @@ import (
 	"flint/internal/device"
 	"flint/internal/metrics"
 	"flint/internal/tensor"
+	"flint/internal/transport"
 )
 
 // FleetConfig drives a synthetic device fleet against a running coordination
@@ -51,6 +52,12 @@ type FleetConfig struct {
 	// protocol, 1 = all JSON). Mixed fleets exercise old and new
 	// clients in the same rounds.
 	JSONFraction float64
+	// LegacyFraction is the share of devices kept on the pre-negotiation
+	// binary protocol: they speak tensor blobs but advertise no
+	// capability list and never track a base version, so they always
+	// receive the full broadcast. Mixing them in proves delta-capable,
+	// legacy-binary, and JSON clients coexist in the same rounds.
+	LegacyFraction float64
 	// Client overrides the HTTP client (tests inject the httptest
 	// client; the default is tuned for a many-device single-host fleet).
 	Client *http.Client
@@ -81,6 +88,12 @@ func (c FleetConfig) withDefaults() (FleetConfig, error) {
 	}
 	if c.JSONFraction < 0 || c.JSONFraction > 1 {
 		return c, fmt.Errorf("coord: JSON fraction %v outside [0, 1]", c.JSONFraction)
+	}
+	if c.LegacyFraction < 0 || c.LegacyFraction > 1 {
+		return c, fmt.Errorf("coord: legacy fraction %v outside [0, 1]", c.LegacyFraction)
+	}
+	if c.JSONFraction+c.LegacyFraction > 1 {
+		return c, fmt.Errorf("coord: JSON fraction %v + legacy fraction %v exceed 1", c.JSONFraction, c.LegacyFraction)
 	}
 	if c.Client == nil {
 		tr := &http.Transport{
@@ -118,8 +131,12 @@ func summarizeLatency(ms []float64) LatencySummary {
 
 // FleetReport is the load generator's result.
 type FleetReport struct {
-	Devices         int           `json:"devices"`
+	Devices int `json:"devices"`
+	// BinaryDevices negotiate schemes and track their base version for
+	// delta broadcast; LegacyDevices speak the pre-negotiation binary
+	// protocol (full broadcast only); JSONDevices stay on legacy JSON.
 	BinaryDevices   int           `json:"binary_devices"`
+	LegacyDevices   int           `json:"legacy_devices"`
 	JSONDevices     int           `json:"json_devices"`
 	RoundsCommitted int           `json:"rounds_committed"`
 	StartVersion    int           `json:"start_version"`
@@ -127,10 +144,13 @@ type FleetReport struct {
 	Wall            time.Duration `json:"wall_ns"`
 	CheckIns        int64         `json:"checkins"`
 	TasksReceived   int64         `json:"tasks_received"`
-	UpdatesAccepted int64         `json:"updates_accepted"`
-	UpdatesRejected int64         `json:"updates_rejected"`
-	NetErrors       int64         `json:"net_errors"`
-	RequestsPerSec  float64       `json:"requests_per_sec"`
+	// DeltaTasks counts tasks that arrived as delta frames against the
+	// device's last-seen version rather than full broadcasts.
+	DeltaTasks      int64   `json:"delta_tasks"`
+	UpdatesAccepted int64   `json:"updates_accepted"`
+	UpdatesRejected int64   `json:"updates_rejected"`
+	NetErrors       int64   `json:"net_errors"`
+	RequestsPerSec  float64 `json:"requests_per_sec"`
 	// BytesSent/BytesRecv are client-observed wire totals (request and
 	// response bodies across the whole fleet), the load generator's view
 	// of the codec's payload win.
@@ -146,10 +166,10 @@ type FleetReport struct {
 // String renders the operator-facing summary cmd/flint-fleet prints.
 func (r *FleetReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fleet: %d devices (%d binary, %d json) drove v%d → v%d (%d rounds) in %.2fs\n",
-		r.Devices, r.BinaryDevices, r.JSONDevices, r.StartVersion, r.EndVersion, r.RoundsCommitted, r.Wall.Seconds())
-	fmt.Fprintf(&b, "  requests: %d check-ins, %d tasks, %d updates accepted, %d rejected, %d net errors (%.0f req/s)\n",
-		r.CheckIns, r.TasksReceived, r.UpdatesAccepted, r.UpdatesRejected, r.NetErrors, r.RequestsPerSec)
+	fmt.Fprintf(&b, "fleet: %d devices (%d delta-capable, %d legacy binary, %d json) drove v%d → v%d (%d rounds) in %.2fs\n",
+		r.Devices, r.BinaryDevices, r.LegacyDevices, r.JSONDevices, r.StartVersion, r.EndVersion, r.RoundsCommitted, r.Wall.Seconds())
+	fmt.Fprintf(&b, "  requests: %d check-ins, %d tasks (%d delta), %d updates accepted, %d rejected, %d net errors (%.0f req/s)\n",
+		r.CheckIns, r.TasksReceived, r.DeltaTasks, r.UpdatesAccepted, r.UpdatesRejected, r.NetErrors, r.RequestsPerSec)
 	perDev := func(total int64) string {
 		if r.Devices == 0 {
 			return "0 B"
@@ -183,7 +203,27 @@ func fmtBytes(n int64) string {
 
 // fleetTotals aggregates counters across device goroutines.
 type fleetTotals struct {
-	checkins, tasks, accepted, rejected, netErrs atomic.Int64
+	checkins, tasks, deltas, accepted, rejected, netErrs atomic.Int64
+}
+
+// bodyBufPool recycles response-body buffers across the fleet's protocol
+// loops: at 1200-device scale every poll used to allocate a fresh
+// model-dim-sized slice via io.ReadAll. Buffers grow to the broadcast
+// blob size once and are reused; nothing decoded from them escapes the
+// read (codec and JSON decoding both copy into fresh values).
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBody drains r into a pooled buffer. Callers must finish with the
+// returned bytes before calling release, which returns the buffer to the
+// pool.
+func readBody(r io.Reader) (body []byte, release func(), err error) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	release = func() { bodyBufPool.Put(buf) }
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, release, err
+	}
+	return buf.Bytes(), release, nil
 }
 
 // latRecorder collects per-device latencies locally (no cross-goroutine
@@ -202,8 +242,18 @@ type fleetDevice struct {
 	// binary devices speak the tensor protocol: Accept negotiation on
 	// /v1/task, client-side delta quantization on /v1/update.
 	binary bool
+	// legacy marks a pre-negotiation binary device: no capability
+	// advertisement, no base tracking, full broadcast every task.
+	legacy bool
 	rng    *rand.Rand
 	lat    latRecorder
+	// params/version mirror the device's last applied model state: the
+	// base the server can serve deltas against. Only current (non-legacy)
+	// binary devices maintain them.
+	params  tensor.Vector
+	version int
+	// deltaTasks counts tasks received as delta frames.
+	deltaTasks int64
 	// Client-observed wire traffic (request/response bodies), merged
 	// into the fleet totals at shutdown.
 	bytesSent, bytesRecv int64
@@ -222,9 +272,15 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The first jsonCount devices stay on the legacy protocol; the rest
-	// negotiate binary. Deterministic, so tests can assert the mix.
+	// The first jsonCount devices stay on the legacy JSON protocol, the
+	// next legacyCount on pre-negotiation binary; the rest negotiate
+	// schemes and track deltas. Deterministic, so tests can assert the
+	// mix.
 	jsonCount := int(math.Round(cfg.JSONFraction * float64(cfg.Devices)))
+	legacyCount := int(math.Round(cfg.LegacyFraction * float64(cfg.Devices)))
+	if jsonCount+legacyCount > cfg.Devices {
+		legacyCount = cfg.Devices - jsonCount
+	}
 	devs := make([]*fleetDevice, cfg.Devices)
 	for i, s := range sampled {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
@@ -236,6 +292,7 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 			modernOS: rng.Float64() < s.Profile.ModernOSProb,
 			weight:   20 + float64(rng.Intn(180)),
 			binary:   i >= jsonCount,
+			legacy:   i >= jsonCount && i < jsonCount+legacyCount,
 			rng:      rng,
 		}
 	}
@@ -308,12 +365,14 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 		update = append(update, d.lat.update...)
 		bytesSent += d.bytesSent
 		bytesRecv += d.bytesRecv
+		totals.deltas.Add(d.deltaTasks)
 	}
 	requests := totals.checkins.Load() + totals.tasks.Load() +
 		totals.accepted.Load() + totals.rejected.Load()
 	rep := &FleetReport{
 		Devices:         cfg.Devices,
-		BinaryDevices:   cfg.Devices - jsonCount,
+		BinaryDevices:   cfg.Devices - jsonCount - legacyCount,
+		LegacyDevices:   legacyCount,
 		JSONDevices:     jsonCount,
 		RoundsCommitted: endStatus.Version - startStatus.Version,
 		StartVersion:    startStatus.Version,
@@ -321,6 +380,7 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 		Wall:            wall,
 		CheckIns:        totals.checkins.Load(),
 		TasksReceived:   totals.tasks.Load(),
+		DeltaTasks:      totals.deltas.Load(),
 		UpdatesAccepted: totals.accepted.Load(),
 		UpdatesRejected: totals.rejected.Load(),
 		NetErrors:       totals.netErrs.Load(),
@@ -412,6 +472,11 @@ func (d *fleetDevice) checkIn(ctx context.Context, cfg FleetConfig) (bool, error
 		SessionSec:  30 + d.rng.ExpFloat64()*180,
 		Weight:      d.weight,
 	}
+	if d.binary && !d.legacy {
+		// Current clients advertise every kind this build decodes;
+		// legacy binary and JSON devices predate negotiation.
+		req.AcceptSchemes = transport.FormatAccept(transport.AllKinds())
+	}
 	var res CheckInResponse
 	t0 := time.Now()
 	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/checkin", req, &res, d)
@@ -441,9 +506,12 @@ func (d *fleetDevice) fetchTask(ctx context.Context, cfg FleetConfig) (*TaskResp
 }
 
 // fetchTaskBinary negotiates the tensor protocol via Accept and parses
-// the X-Flint-* metadata headers plus the codec blob body. A JSON reply
-// (an old server) is decoded as the legacy response, so new devices
-// interoperate both ways.
+// the X-Flint-* metadata headers plus the codec blob body. Current
+// devices also advertise their scheme capabilities and the version they
+// already hold, so the server can ship a delta frame instead of the full
+// vector; legacy devices skip both and always receive full broadcasts. A
+// JSON reply (an old server) is decoded as the legacy response, so new
+// devices interoperate both ways.
 func (d *fleetDevice) fetchTaskBinary(ctx context.Context, cfg FleetConfig) (*TaskResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		fmt.Sprintf("%s/v1/task?device=%d", cfg.BaseURL, d.id), nil)
@@ -451,12 +519,19 @@ func (d *fleetDevice) fetchTaskBinary(ctx context.Context, cfg FleetConfig) (*Ta
 		return nil, err
 	}
 	req.Header.Set("Accept", ContentTypeTensor)
+	if !d.legacy {
+		req.Header.Set(hdrAcceptSchemes, transport.FormatAccept(transport.AllKinds()))
+		if d.version > 0 && d.params != nil {
+			req.Header.Set(hdrBaseVersion, strconv.Itoa(d.version))
+		}
+	}
 	t0 := time.Now()
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
 		return nil, err
 	}
-	body, err := io.ReadAll(resp.Body)
+	body, release, err := readBody(resp.Body)
+	defer release()
 	resp.Body.Close()
 	d.bytesRecv += int64(len(body))
 	if err != nil {
@@ -491,9 +566,30 @@ func (d *fleetDevice) fetchTaskBinary(ctx context.Context, cfg FleetConfig) (*Ta
 	}
 	task.ModelKind = resp.Header.Get(hdrModelKind)
 	if len(body) > 0 {
+		if h := resp.Header.Get(hdrDelta); h != "" {
+			// Delta frame: fold it into the params we already hold.
+			deltaBase, err := strconv.Atoi(h)
+			if err != nil {
+				return nil, fmt.Errorf("coord: bad %s header: %w", hdrDelta, err)
+			}
+			if d.params == nil || deltaBase != d.version {
+				return nil, fmt.Errorf("coord: delta against v%d but device holds v%d", deltaBase, d.version)
+			}
+			params, _, err := codec.ApplyDelta(d.params, body)
+			if err != nil {
+				return nil, fmt.Errorf("coord: bad task delta: %w", err)
+			}
+			d.params, d.version = params, task.BaseVersion
+			d.deltaTasks++
+			task.Params = params
+			return task, nil
+		}
 		params, _, err := codec.Decode(body)
 		if err != nil {
 			return nil, fmt.Errorf("coord: bad task tensor: %w", err)
+		}
+		if !d.legacy {
+			d.params, d.version = params, task.BaseVersion
 		}
 		task.Params = params
 	}
@@ -554,7 +650,8 @@ func (d *fleetDevice) submitBinary(ctx context.Context, cfg FleetConfig, task *T
 		return false, err
 	}
 	d.bytesSent += int64(len(blob))
-	body, err := io.ReadAll(resp.Body)
+	body, release, err := readBody(resp.Body)
+	defer release()
 	resp.Body.Close()
 	d.bytesRecv += int64(len(body))
 	if err != nil {
@@ -614,7 +711,8 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, in, ou
 	if dev != nil {
 		dev.bytesSent += sent
 	}
-	raw, err := io.ReadAll(resp.Body)
+	raw, release, err := readBody(resp.Body)
+	defer release()
 	if dev != nil {
 		dev.bytesRecv += int64(len(raw))
 	}

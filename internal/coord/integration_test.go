@@ -3,6 +3,7 @@ package coord
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -15,6 +16,7 @@ import (
 	"flint/internal/codec"
 	"flint/internal/model"
 	"flint/internal/tensor"
+	"flint/internal/transport"
 )
 
 // TestFleetEndToEnd drives a fleet of goroutine devices through a live
@@ -124,7 +126,7 @@ func TestFleetMixedProtocols(t *testing.T) {
 		RoundDeadline: 5 * time.Second,
 		QueueDepth:    128,
 		KeepVersions:  -1,
-		UpdateScheme:  codec.Q8,
+		Transport:     transport.Config{Default: transport.Policy{Update: codec.Q8}},
 		Criteria:      availability.Criteria{RequireWiFi: true},
 	})
 	if err != nil {
@@ -187,7 +189,8 @@ func TestPublishedBlobCache(t *testing.T) {
 		Quorum:        1,
 		OverCommit:    4,
 		RoundDeadline: time.Minute,
-		TaskScheme:    codec.RawF64, // lossless so decode == published exactly
+		// lossless so decode == published exactly
+		Transport: transport.Config{Default: transport.Policy{Task: codec.RawF64}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -352,8 +355,9 @@ func TestBinaryProtocolEdges(t *testing.T) {
 		TargetUpdates: 4,
 		Quorum:        2,
 		RoundDeadline: time.Minute,
-		TaskScheme:    codec.F32,
-		UpdateScheme:  codec.Q8,
+		Transport: transport.Config{
+			Default: transport.Policy{Task: codec.F32, Update: codec.Q8},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -438,5 +442,445 @@ func TestBinaryProtocolEdges(t *testing.T) {
 	}
 	if code := post(enc, "1", "1"); code != http.StatusAccepted {
 		t.Fatalf("valid binary update: HTTP %d, want 202", code)
+	}
+}
+
+// TestTransportNegotiationEdges exercises the satellite contracts of the
+// negotiated transport layer: a device advertising only unknown schemes
+// falls back to f32 (with counter bumps), capability lists constrain the
+// cohort policy, and cellular devices land in the low-bandwidth cohort.
+func TestTransportNegotiationEdges(t *testing.T) {
+	c, err := New(Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          1,
+		TargetUpdates: 4,
+		Quorum:        2,
+		OverCommit:    8,
+		RoundDeadline: time.Minute,
+		// Non-f32 defaults so a forced f32 fallback is observable.
+		Transport: transport.Config{
+			Default: transport.Policy{Task: codec.Q8, Update: codec.Q8, Delta: codec.Q8},
+		},
+		Criteria: availability.Criteria{}, // admit cellular sessions too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	client := srv.Client()
+
+	checkin := func(body CheckInRequest) CheckInResponse {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		resp, err := client.Post(srv.URL+"/v1/checkin", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var res CheckInResponse
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// A device advertising schemes this server has never heard of is
+	// served the universal baseline, and both counters tick.
+	res := checkin(CheckInRequest{DeviceID: 1, Model: "Pixel-6", Platform: "Android",
+		WiFi: true, BatteryHigh: true, SessionSec: 300, AcceptSchemes: "zstd-tensor,brotli9"})
+	if res.Cohort != transport.CohortDefault || res.TaskScheme != "f32" || res.UpdateScheme != "f32" {
+		t.Fatalf("unknown-scheme check-in negotiated %+v", res)
+	}
+	if c.Counters().Counter("transport_fallback_f32").Value() == 0 {
+		t.Fatal("transport_fallback_f32 counter never bumped")
+	}
+	if c.Counters().Counter("checkin_unknown_scheme").Value() < 2 {
+		t.Fatal("checkin_unknown_scheme counter missed the unknown entries")
+	}
+	// And the served blob really is f32, not the cohort's q8.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/task?device=1", nil)
+	req.Header.Set("Accept", ContentTypeTensor)
+	req.Header.Set(hdrAcceptSchemes, "zstd-tensor,brotli9")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback task: HTTP %d", resp.StatusCode)
+	}
+	if _, s, err := codec.Decode(blob); err != nil || s != codec.F32 {
+		t.Fatalf("fallback blob scheme %v (err %v), want f32", s, err)
+	}
+
+	// A cellular device with full capabilities lands in the lowbw
+	// cohort and keeps its policy (defaults: topk broadcast).
+	res = checkin(CheckInRequest{DeviceID: 2, Model: "Moto-G7", Platform: "Android",
+		WiFi: false, BatteryHigh: true, SessionSec: 300, AcceptSchemes: "f32,q8,topk,raw64"})
+	if res.Cohort != transport.CohortLowBW {
+		t.Fatalf("cellular device cohort %q", res.Cohort)
+	}
+	// A legacy check-in (no advertisement) still gets cohort metadata
+	// and the unfiltered policy.
+	res = checkin(CheckInRequest{DeviceID: 3, Model: "Pixel-6", Platform: "Android",
+		WiFi: true, BatteryHigh: true, SessionSec: 300})
+	if res.Cohort != transport.CohortDefault || res.TaskScheme != "q8" {
+		t.Fatalf("legacy check-in negotiated %+v", res)
+	}
+	if c.Counters().Counter("task_cohort_default").Value() == 0 {
+		t.Fatal("task_cohort_default counter never bumped")
+	}
+}
+
+// TestDeltaBroadcast drives the version ring end to end over HTTP: a
+// device holding a ring-resident version receives a delta frame that
+// reproduces the published vector, repeated bases hit the delta cache,
+// an aged-out base falls back to the full broadcast, and an up-to-date
+// device gets a near-empty frame.
+func TestDeltaBroadcast(t *testing.T) {
+	c, err := New(Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          1,
+		TargetUpdates: 1,
+		Quorum:        1,
+		OverCommit:    8,
+		RoundDeadline: time.Minute,
+		KeepVersions:  -1,
+		// Lossless schemes so delta reconstruction is checkable tightly.
+		Transport: transport.Config{
+			Default:      transport.Policy{Task: codec.RawF64, Update: codec.Q8, Delta: codec.RawF64},
+			DeltaHistory: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	client := srv.Client()
+
+	for id := int64(1); id <= 3; id++ {
+		body, _ := json.Marshal(CheckInRequest{DeviceID: id, Model: "Pixel-6", WiFi: true,
+			BatteryHigh: true, SessionSec: 600, Weight: 1, AcceptSchemes: "f32,q8,topk,raw64"})
+		resp, err := client.Post(srv.URL+"/v1/checkin", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	// fetch pulls a binary task for dev, optionally advertising a held
+	// base version, and returns the response headers plus body.
+	fetch := func(dev, base int) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/task?device=%d", srv.URL, dev), nil)
+		req.Header.Set("Accept", ContentTypeTensor)
+		if base > 0 {
+			req.Header.Set(hdrBaseVersion, strconv.Itoa(base))
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("task for device %d: HTTP %d", dev, resp.StatusCode)
+		}
+		return resp, body
+	}
+	// submit posts a JSON update for the task the device holds, then
+	// waits for the commit it triggers.
+	submit := func(dev int, resp *http.Response) {
+		t.Helper()
+		round, _ := strconv.ParseUint(resp.Header.Get(hdrRound), 10, 64)
+		base, _ := strconv.Atoi(resp.Header.Get(hdrBaseVersion))
+		delta := make([]float64, c.global.NumParams())
+		for i := range delta {
+			delta[i] = 0.001 * float64(dev)
+		}
+		body, _ := json.Marshal(UpdateRequest{DeviceID: int64(dev), RoundID: round,
+			BaseVersion: base, Weight: 1, Delta: delta})
+		r, err := client.Post(srv.URL+"/v1/update", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusAccepted {
+			t.Fatalf("update from device %d: HTTP %d", dev, r.StatusCode)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Version() <= base {
+			if time.Now().After(deadline) {
+				t.Fatalf("round after v%d never committed", base)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	published := func(v int) tensor.Vector {
+		t.Helper()
+		m, err := c.Store().Get(c.Config().ModelName, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Params()
+	}
+
+	// Round 1: device 1 takes the full broadcast at v1 and commits v2.
+	resp, body := fetch(1, 0)
+	if h := resp.Header.Get(hdrDelta); h != "" {
+		t.Fatalf("fresh device got a delta frame (base %s)", h)
+	}
+	v1, _, err := codec.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit(1, resp)
+
+	// Device 2 holds v1: it gets a delta frame against it that rebuilds
+	// the published v2 exactly (raw64 end to end).
+	resp, body = fetch(2, 1)
+	if got := resp.Header.Get(hdrDelta); got != "1" {
+		t.Fatalf("%s = %q, want 1", hdrDelta, got)
+	}
+	if !codec.IsDelta(body) {
+		t.Fatal("delta response body not delta-framed")
+	}
+	if full, err := codec.Encode(published(2), codec.RawF64); err == nil && len(body) >= len(full)*2 {
+		t.Fatalf("delta frame (%d bytes) not smaller than 2x full (%d bytes)", len(body), len(full))
+	}
+	rebuilt, _, err := codec.ApplyDelta(v1, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := rebuilt.Clone()
+	diff.Sub(published(2))
+	if diff.Norm2() > 1e-9 {
+		t.Fatalf("delta reconstruction off by %g", diff.Norm2())
+	}
+
+	// Device 3 asks from the same base: the frame comes from the cache.
+	fetch(3, 1)
+	if c.Counters().Counter("delta_cache_hits").Value() == 0 {
+		t.Fatal("second same-base delta missed the cache")
+	}
+
+	// Commit twice more (v3, v4): with DeltaHistory 2 the ring now
+	// holds {v3, v4} and base v1 has aged out.
+	submit(2, resp)
+	resp3, _ := fetch(3, 0)
+	submit(3, resp3)
+	if v := c.Version(); v != 4 {
+		t.Fatalf("version %d, want 4", v)
+	}
+	aged := c.Counters().Counter("delta_base_aged").Value()
+	resp, _ = fetch(1, 1)
+	if h := resp.Header.Get(hdrDelta); h != "" {
+		t.Fatalf("aged-out base still served a delta (base %s)", h)
+	}
+	if c.Counters().Counter("delta_base_aged").Value() <= aged {
+		t.Fatal("delta_base_aged counter never bumped")
+	}
+
+	// An up-to-date device gets a near-empty "no change" frame.
+	resp, body = fetch(2, 4)
+	if got := resp.Header.Get(hdrDelta); got != "4" {
+		t.Fatalf("current-version delta header %q", got)
+	}
+	if len(body) > 256 {
+		t.Fatalf("no-change delta frame is %d bytes", len(body))
+	}
+	same, _, err := codec.ApplyDelta(published(4), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := same.Clone()
+	d2.Sub(published(4))
+	if d2.Norm2() != 0 {
+		t.Fatal("no-change delta moved the params")
+	}
+
+	// A device that cannot decode topk must not get the topk no-change
+	// shortcut: its frame stays within the schemes it advertised.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/task?device=3", nil)
+	req.Header.Set("Accept", ContentTypeTensor)
+	req.Header.Set(hdrBaseVersion, "4")
+	req.Header.Set(hdrAcceptSchemes, "f32,q8")
+	r2, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if err != nil || r2.StatusCode != http.StatusOK {
+		t.Fatalf("constrained no-change fetch: HTTP %d, err %v", r2.StatusCode, err)
+	}
+	if got := r2.Header.Get(hdrDelta); got != "4" {
+		t.Fatalf("constrained no-change delta header %q", got)
+	}
+	if _, s, err := codec.Decode(body); err != nil || s.Kind == codec.KindTopK || s.Kind == codec.KindRawF64 {
+		t.Fatalf("constrained no-change frame scheme %v (err %v): outside the advertised list", s, err)
+	}
+}
+
+// TestUpdateOversizeRejected pins the 413 contract on both update paths:
+// oversize bodies are refused loudly and counted, never silently
+// truncated into a confusing codec error.
+func TestUpdateOversizeRejected(t *testing.T) {
+	c, err := New(Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          1,
+		TargetUpdates: 4,
+		Quorum:        2,
+		RoundDeadline: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	client := srv.Client()
+
+	oversize := make([]byte, maxUpdateBody+16)
+	copy(oversize, "FCT") // plausible start; the size check must fire first
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/update", bytes.NewReader(oversize))
+	req.Header.Set("Content-Type", ContentTypeTensor)
+	req.Header.Set(hdrDevice, "1")
+	req.Header.Set(hdrRound, "1")
+	req.Header.Set(hdrBaseVersion, "1")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize binary update: HTTP %d, want 413", resp.StatusCode)
+	}
+	if c.Counters().Counter("update_rejected_oversize").Value() != 1 {
+		t.Fatal("oversize binary update not counted")
+	}
+
+	// JSON path: an over-budget body dies in MaxBytesReader mid-decode.
+	jsonBody := append([]byte(`{"delta":[`), bytes.Repeat([]byte("1,"), (maxUpdateBody/2)+16)...)
+	jsonBody = append(jsonBody, []byte("1]}")...)
+	resp, err = client.Post(srv.URL+"/v1/update", "application/json", bytes.NewReader(jsonBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize JSON update: HTTP %d, want 413", resp.StatusCode)
+	}
+	if c.Counters().Counter("update_rejected_oversize").Value() != 2 {
+		t.Fatal("oversize JSON update not counted")
+	}
+}
+
+// TestFleetTransportMix is the acceptance gauntlet scaled for CI: delta-
+// capable, legacy full-broadcast, and JSON devices share the same rounds
+// in both serving modes, deltas actually flow, and the downlink wire
+// stats surface in /v1/status.
+func TestFleetTransportMix(t *testing.T) {
+	for _, mode := range []Mode{ModeSync, ModeAsync} {
+		t.Run(string(mode), func(t *testing.T) {
+			cfg := Config{
+				Mode:          mode,
+				ModelKind:     model.KindA,
+				Seed:          1,
+				TargetUpdates: 12,
+				Quorum:        4,
+				OverCommit:    2,
+				MaxInflight:   256,
+				RoundDeadline: 5 * time.Second,
+				MaxStaleness:  4,
+				QueueDepth:    128,
+				KeepVersions:  -1,
+				Criteria:      availability.Criteria{}, // admit cellular: both cohorts serve
+			}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			srv := httptest.NewServer(NewServer(c))
+			defer srv.Close()
+
+			rep, err := RunFleet(FleetConfig{
+				BaseURL:        srv.URL,
+				Devices:        60,
+				Rounds:         4,
+				Seed:           23,
+				ThinkTime:      15 * time.Millisecond,
+				ComputeScale:   0.2,
+				JSONFraction:   0.3,
+				LegacyFraction: 0.3,
+				Timeout:        90 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("fleet: %v (report: %+v)", err, rep)
+			}
+			if rep.RoundsCommitted < 3 {
+				t.Fatalf("committed %d rounds, want >= 3", rep.RoundsCommitted)
+			}
+			if rep.JSONDevices != 18 || rep.LegacyDevices != 18 || rep.BinaryDevices != 24 {
+				t.Fatalf("cohorts: %d json, %d legacy, %d binary",
+					rep.JSONDevices, rep.LegacyDevices, rep.BinaryDevices)
+			}
+			if rep.DeltaTasks == 0 {
+				t.Fatal("no delta frames flowed in a delta-capable fleet")
+			}
+			counters := c.Counters()
+			for _, name := range []string{
+				"task_sent_binary", "task_sent_json", "task_sent_delta",
+				"update_recv_binary", "update_recv_json",
+				"broadcast_bytes_full", "broadcast_bytes_delta",
+			} {
+				if counters.Counter(name).Value() == 0 {
+					t.Errorf("counter %s = 0: that path never ran", name)
+				}
+			}
+			if hits, misses := counters.Counter("delta_cache_hits").Value(),
+				counters.Counter("delta_cache_misses").Value(); hits+misses == 0 {
+				t.Error("delta cache never exercised")
+			}
+			// The downlink stats ride /v1/status like the uplink ones.
+			st := rep.FinalStatus
+			if st == nil {
+				t.Fatal("no final status")
+			}
+			for _, name := range []string{"broadcast_bytes_full", "broadcast_bytes_delta", "delta_cache_hits"} {
+				if _, ok := st.Counters[name]; !ok {
+					t.Errorf("status counters missing %s", name)
+				}
+			}
+			// Aggregation still converged across all three client kinds.
+			final, _, err := c.Store().Latest(c.Config().ModelName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			init, err := c.Store().Get(c.Config().ModelName, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := final.Params().Clone()
+			moved.Sub(init.Params())
+			if moved.Norm2() == 0 {
+				t.Fatal("model parameters unchanged after mixed-transport rounds")
+			}
+		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"flint/internal/availability"
+	"flint/internal/codec"
 )
 
 // DeviceInfo is the device-reported state carried by a check-in or
@@ -23,6 +24,10 @@ type DeviceInfo struct {
 	// Weight is the device's local example count, used as the fallback
 	// aggregation weight when a submission omits its own.
 	Weight float64
+	// Accept lists the codec scheme kinds the device advertised it can
+	// decode at check-in (nil = legacy client, assumed to decode all);
+	// transport negotiation constrains cohort policies to it.
+	Accept []codec.Kind
 }
 
 // session converts the reported state into the availability.Session shape

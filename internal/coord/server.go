@@ -13,6 +13,7 @@ import (
 
 	"flint/internal/codec"
 	"flint/internal/tensor"
+	"flint/internal/transport"
 )
 
 // ContentTypeTensor marks binary tensor bodies (the internal/codec wire
@@ -24,22 +25,40 @@ const ContentTypeTensor = "application/x-flint-tensor"
 // Binary-protocol metadata travels in headers so the body can be the
 // cached codec blob verbatim. Header names are the protocol; keep them
 // stable.
+//
+// X-Flint-Base-Version is directional: on a task *request* it carries the
+// published version the device already holds (its delta base); on the
+// task *response* it names the version the task trains from. When the
+// response body is a delta frame, X-Flint-Delta carries the base version
+// the frame applies against (always the version the device sent —
+// otherwise the server fell back to the full blob and the header is
+// absent). X-Flint-Accept-Schemes echoes the device's check-in
+// capability list so negotiation also works per-request.
 const (
-	hdrDevice       = "X-Flint-Device"
-	hdrRound        = "X-Flint-Round"
-	hdrBaseVersion  = "X-Flint-Base-Version"
-	hdrModelKind    = "X-Flint-Model-Kind"
-	hdrDim          = "X-Flint-Dim"
-	hdrLocalSteps   = "X-Flint-Local-Steps"
-	hdrDeadlineMS   = "X-Flint-Deadline-Ms"
-	hdrUpdateScheme = "X-Flint-Update-Scheme"
-	hdrWeight       = "X-Flint-Weight"
+	hdrDevice        = "X-Flint-Device"
+	hdrRound         = "X-Flint-Round"
+	hdrBaseVersion   = "X-Flint-Base-Version"
+	hdrModelKind     = "X-Flint-Model-Kind"
+	hdrDim           = "X-Flint-Dim"
+	hdrLocalSteps    = "X-Flint-Local-Steps"
+	hdrDeadlineMS    = "X-Flint-Deadline-Ms"
+	hdrUpdateScheme  = "X-Flint-Update-Scheme"
+	hdrWeight        = "X-Flint-Weight"
+	hdrDelta         = "X-Flint-Delta"
+	hdrAcceptSchemes = "X-Flint-Accept-Schemes"
+	hdrCohort        = "X-Flint-Cohort"
 )
 
-// maxUpdateBody bounds a binary /v1/update body read: the largest zoo
-// model is ~922k params, far under this, and it keeps a hostile
-// Content-Length from ballooning the handler.
+// maxUpdateBody bounds a /v1/update body read: the largest zoo model is
+// ~922k params, far under this, and it keeps a hostile Content-Length
+// from ballooning the handler. Oversize bodies are rejected with 413 —
+// not silently truncated, which would surface as a confusing codec
+// payload-length error — and counted in update_rejected_oversize.
 const maxUpdateBody = 64 << 20
+
+// errBodyTooLarge marks an update body that exceeded maxUpdateBody; the
+// handler maps it to HTTP 413.
+var errBodyTooLarge = fmt.Errorf("update body exceeds %d-byte limit", maxUpdateBody)
 
 // Wire types of the /v1 JSON API. Field names are the protocol; keep them
 // stable.
@@ -54,6 +73,10 @@ type CheckInRequest struct {
 	ModernOS    bool    `json:"modern_os"`
 	SessionSec  float64 `json:"session_sec"`
 	Weight      float64 `json:"weight"`
+	// AcceptSchemes is the device's advertised codec capability list
+	// ("f32,q8,topk"), the Accept half of transport negotiation. Empty
+	// means a legacy client that decodes everything this server ships.
+	AcceptSchemes string `json:"accept_schemes,omitempty"`
 }
 
 // CheckInResponse is the POST /v1/checkin reply.
@@ -62,6 +85,11 @@ type CheckInResponse struct {
 	Eligible bool   `json:"eligible"`
 	Version  int    `json:"model_version"`
 	RoundID  uint64 `json:"round_id"`
+	// Cohort plus the negotiated schemes tell the device how its bytes
+	// will move (advisory — the task response repeats what matters).
+	Cohort       string `json:"cohort,omitempty"`
+	TaskScheme   string `json:"task_scheme,omitempty"`
+	UpdateScheme string `json:"update_scheme,omitempty"`
 }
 
 // TaskResponse is the GET /v1/task reply (200 only; 204 means no task).
@@ -152,7 +180,7 @@ func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad check-in body: %w", err))
 		return
 	}
-	res := s.c.CheckIn(DeviceInfo{
+	info := DeviceInfo{
 		ID:          req.DeviceID,
 		Model:       req.Model,
 		Platform:    req.Platform,
@@ -161,12 +189,26 @@ func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
 		ModernOS:    req.ModernOS,
 		SessionSec:  req.SessionSec,
 		Weight:      req.Weight,
-	})
+	}
+	if req.AcceptSchemes != "" {
+		kinds, unknown := transport.ParseAccept(req.AcceptSchemes)
+		if unknown > 0 {
+			// Future clients may advertise schemes this server has
+			// never heard of; they degrade through negotiation, but
+			// the operator should be able to see it happening.
+			s.c.counters.Counter("checkin_unknown_scheme").Add(int64(unknown))
+		}
+		info.Accept = kinds
+	}
+	res := s.c.CheckIn(info)
 	writeJSON(w, http.StatusOK, CheckInResponse{
-		New:      res.New,
-		Eligible: res.Eligible,
-		Version:  res.Version,
-		RoundID:  res.RoundID,
+		New:          res.New,
+		Eligible:     res.Eligible,
+		Version:      res.Version,
+		RoundID:      res.RoundID,
+		Cohort:       res.Cohort,
+		TaskScheme:   res.Policy.Task.String(),
+		UpdateScheme: res.Policy.Update.String(),
 	})
 }
 
@@ -189,7 +231,24 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	t, err := s.c.RequestTask(id)
+	q := TaskQuery{Binary: strings.Contains(r.Header.Get("Accept"), ContentTypeTensor)}
+	if q.Binary {
+		// The device names the version it already holds; a parse
+		// failure just means no delta, never a failed task.
+		if h := r.Header.Get(hdrBaseVersion); h != "" {
+			if base, err := strconv.Atoi(h); err == nil && base > 0 {
+				q.BaseVersion = base
+			}
+		}
+		if h := r.Header.Get(hdrAcceptSchemes); h != "" {
+			kinds, unknown := transport.ParseAccept(h)
+			if unknown > 0 {
+				s.c.counters.Counter("task_unknown_scheme").Add(int64(unknown))
+			}
+			q.Accept = kinds
+		}
+	}
+	t, err := s.c.RequestTaskWith(id, q)
 	switch {
 	case errors.Is(err, ErrNoTask):
 		w.WriteHeader(http.StatusNoContent)
@@ -201,7 +260,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	if strings.Contains(r.Header.Get("Accept"), ContentTypeTensor) {
+	if q.Binary {
 		// Binary path: metadata in headers, body is the cached codec
 		// blob verbatim — zero per-request encoding.
 		h := w.Header()
@@ -213,18 +272,28 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		h.Set(hdrLocalSteps, strconv.Itoa(t.LocalSteps))
 		h.Set(hdrDeadlineMS, strconv.FormatInt(t.Deadline.UnixMilli(), 10))
 		h.Set(hdrUpdateScheme, t.UpdateScheme.String())
+		h.Set(hdrCohort, t.Cohort)
+		if t.DeltaBase > 0 {
+			h.Set(hdrDelta, strconv.Itoa(t.DeltaBase))
+			s.c.counters.Counter("task_sent_delta").Inc()
+			s.c.counters.Counter("broadcast_bytes_delta").Add(int64(len(t.EncodedParams)))
+		} else {
+			s.c.counters.Counter("broadcast_bytes_full").Add(int64(len(t.EncodedParams)))
+		}
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(t.EncodedParams)
 		s.c.counters.Counter("task_sent_binary").Inc()
 		return
 	}
 	s.c.counters.Counter("task_sent_json").Inc()
+	params := s.paramsJSON(t)
+	s.c.counters.Counter("broadcast_bytes_full").Add(int64(len(params)))
 	writeJSON(w, http.StatusOK, taskWire{
 		RoundID:      t.RoundID,
 		BaseVersion:  t.BaseVersion,
 		ModelKind:    string(t.ModelKind),
 		Dim:          t.Dim,
-		Params:       s.paramsJSON(t),
+		Params:       params,
 		LocalSteps:   t.LocalSteps,
 		DeadlineMS:   t.Deadline.UnixMilli(),
 		UpdateScheme: t.UpdateScheme.String(),
@@ -253,6 +322,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var sub Submission
 	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeTensor) {
 		parsed, err := s.binarySubmission(r)
+		if errors.Is(err, errBodyTooLarge) {
+			s.c.counters.Counter("update_rejected_oversize").Inc()
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -260,8 +334,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		sub = parsed
 		s.c.counters.Counter("update_recv_binary").Inc()
 	} else {
+		// The JSON decoder reads through the same budget: a
+		// MaxBytesReader failure mid-decode is an oversize body, not a
+		// syntax error.
 		var req UpdateRequest
+		r.Body = http.MaxBytesReader(w, r.Body, maxUpdateBody)
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.c.counters.Counter("update_rejected_oversize").Inc()
+				writeError(w, http.StatusRequestEntityTooLarge, errBodyTooLarge)
+				return
+			}
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad update body: %w", err))
 			return
 		}
@@ -312,9 +396,15 @@ func (s *Server) binarySubmission(r *http.Request) (Submission, error) {
 			return Submission{}, fmt.Errorf("bad %s header: %w", hdrWeight, err)
 		}
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxUpdateBody))
+	// Read one byte past the limit so an at-limit body is distinguishable
+	// from an oversize one: the old plain LimitReader silently truncated
+	// huge bodies and let the codec report a misleading length mismatch.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUpdateBody+1))
 	if err != nil {
 		return Submission{}, fmt.Errorf("read update body: %w", err)
+	}
+	if len(body) > maxUpdateBody {
+		return Submission{}, errBodyTooLarge
 	}
 	dim, _, err := codec.Header(body)
 	if err != nil {

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"flint/internal/codec"
+)
+
+func mustNegotiator(t *testing.T, cfg Config) *Negotiator {
+	t.Helper()
+	n, err := NewNegotiator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := Config{}.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Default.Task != codec.F32 || cfg.Default.Update != codec.Q8 || cfg.Default.Delta != codec.Q8 {
+		t.Fatalf("default cohort = %+v", cfg.Default)
+	}
+	if cfg.LowBW.Task.Kind != codec.KindTopK || cfg.LowBW.Update != codec.Q8 || cfg.LowBW.Delta.Kind != codec.KindTopK {
+		t.Fatalf("lowbw cohort = %+v", cfg.LowBW)
+	}
+	if cfg.DeltaHistory != DefaultDeltaHistory {
+		t.Fatalf("delta history = %d", cfg.DeltaHistory)
+	}
+}
+
+func TestConfigRejectsInvalidScheme(t *testing.T) {
+	_, err := Config{Default: Policy{Task: codec.Scheme{Kind: 99}}}.WithDefaults()
+	if err == nil || !strings.Contains(err.Error(), "default cohort") {
+		t.Fatalf("invalid scheme accepted: %v", err)
+	}
+	if _, err := NewNegotiator(Config{LowBW: Policy{Update: codec.Scheme{Kind: 200}}}); err == nil {
+		t.Fatal("NewNegotiator accepted invalid lowbw scheme")
+	}
+}
+
+func TestClassifyCohorts(t *testing.T) {
+	n := mustNegotiator(t, Config{})
+	if c := n.Classify(Device{Platform: "Android", WiFi: true}); c != CohortDefault {
+		t.Fatalf("wifi device cohort = %q", c)
+	}
+	if c := n.Classify(Device{Platform: "iOS", WiFi: false}); c != CohortLowBW {
+		t.Fatalf("cellular device cohort = %q", c)
+	}
+}
+
+// TestNegotiateLegacyClient pins backward compatibility: a device that
+// never advertised capabilities (nil Accept) gets the unfiltered cohort
+// policy, exactly what pre-negotiation servers served.
+func TestNegotiateLegacyClient(t *testing.T) {
+	n := mustNegotiator(t, Config{})
+	dec := n.Negotiate(Device{WiFi: true})
+	if dec.Cohort != CohortDefault || dec.Fallback {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if dec.Policy != n.Config().Default {
+		t.Fatalf("legacy policy filtered: %+v", dec.Policy)
+	}
+}
+
+// TestNegotiateHonorsAccept: the cohort's preferred schemes survive when
+// advertised, and slots outside the list degrade to f32 within it.
+func TestNegotiateHonorsAccept(t *testing.T) {
+	n := mustNegotiator(t, Config{})
+	full := n.Negotiate(Device{WiFi: true, Accept: AllKinds()})
+	if full.Fallback || full.Policy != n.Config().Default {
+		t.Fatalf("full-capability decision = %+v", full)
+	}
+
+	// A device that can only decode f32: every slot degrades to f32,
+	// and that is a clean downgrade, not a fallback.
+	f32only := n.Negotiate(Device{WiFi: false, Accept: []codec.Kind{codec.KindF32}})
+	if f32only.Cohort != CohortLowBW || f32only.Fallback {
+		t.Fatalf("f32-only decision = %+v", f32only)
+	}
+	if f32only.Policy.Task != codec.F32 || f32only.Policy.Update != codec.F32 || f32only.Policy.Delta != codec.F32 {
+		t.Fatalf("f32-only policy = %+v", f32only.Policy)
+	}
+
+	// q8+f32: the lowbw cohort's topk slots degrade to f32, but q8
+	// slots are honored.
+	partial := n.Negotiate(Device{WiFi: false, Accept: []codec.Kind{codec.KindQ8, codec.KindF32}})
+	if partial.Fallback {
+		t.Fatalf("partial decision flagged fallback: %+v", partial)
+	}
+	if partial.Policy.Task != codec.F32 || partial.Policy.Update != codec.Q8 || partial.Policy.Delta != codec.F32 {
+		t.Fatalf("partial policy = %+v", partial.Policy)
+	}
+}
+
+// TestNegotiateUnknownSchemeFallsBack is the satellite contract: a device
+// advertising only schemes this server has never heard of still gets a
+// servable answer — f32 — and the decision is flagged for the counter.
+func TestNegotiateUnknownSchemeFallsBack(t *testing.T) {
+	n := mustNegotiator(t, Config{})
+	kinds, unknown := ParseAccept("zstd-tensor, brotli9")
+	if unknown != 2 || len(kinds) != 0 || kinds == nil {
+		t.Fatalf("ParseAccept = %v (unknown %d)", kinds, unknown)
+	}
+	dec := n.Negotiate(Device{WiFi: true, Accept: kinds})
+	if !dec.Fallback {
+		t.Fatalf("unusable accept list not flagged: %+v", dec)
+	}
+	if dec.Policy.Task != codec.F32 || dec.Policy.Update != codec.F32 || dec.Policy.Delta != codec.F32 {
+		t.Fatalf("fallback policy = %+v", dec.Policy)
+	}
+}
+
+func TestParseAccept(t *testing.T) {
+	kinds, unknown := ParseAccept("f32, q8,topk:128,raw64,f32,mystery")
+	if unknown != 1 {
+		t.Fatalf("unknown = %d", unknown)
+	}
+	want := []codec.Kind{codec.KindF32, codec.KindQ8, codec.KindTopK, codec.KindRawF64}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("kinds[%d] = %v, want %v", i, kinds[i], k)
+		}
+	}
+	if kinds, unknown := ParseAccept(""); len(kinds) != 0 || unknown != 0 {
+		t.Fatalf("empty list: %v, %d", kinds, unknown)
+	}
+}
+
+func TestAcceptRoundTrip(t *testing.T) {
+	rendered := FormatAccept(AllKinds())
+	kinds, unknown := ParseAccept(rendered)
+	if unknown != 0 || len(kinds) != len(AllKinds()) {
+		t.Fatalf("round trip of %q = %v (unknown %d)", rendered, kinds, unknown)
+	}
+	for i, k := range AllKinds() {
+		if kinds[i] != k {
+			t.Fatalf("round trip order: %v vs %v", kinds, AllKinds())
+		}
+	}
+}

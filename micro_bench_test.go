@@ -183,6 +183,70 @@ func BenchmarkCodecDecodeRaw64(b *testing.B) { benchmarkCodecDecode(b, codec.Raw
 func BenchmarkCodecDecodeF32(b *testing.B)   { benchmarkCodecDecode(b, codec.F32) }
 func BenchmarkCodecDecodeQ8(b *testing.B)    { benchmarkCodecDecode(b, codec.Q8) }
 
+// BenchmarkCodecDeltaBroadcast compares downlink bytes for one round of
+// model broadcast: the full f32 vector (what every device got before the
+// negotiated transport layer) vs a q8 delta frame against the device's
+// last-seen version (what a delta-capable device gets now). The
+// downlink_reduction metric is the headline claim: >= 3x on the
+// 189k-param model.
+func BenchmarkCodecDeltaBroadcast(b *testing.B) {
+	base := codecBenchVector()
+	// One committed round's movement: a small aggregated step.
+	cur := base.Clone()
+	step := rand.New(rand.NewSource(17))
+	for i := range cur {
+		cur[i] += step.NormFloat64() * 0.001
+	}
+	diff := cur.Clone()
+	diff.Sub(base)
+	full, err := codec.Encode(cur, codec.F32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta, err := codec.EncodeDelta(diff, codec.Q8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	once("delta-broadcast", func() {
+		fmt.Printf("\nDelta broadcast — %d-param model, downlink bytes per task:\n", len(cur))
+		fmt.Printf("  %-12s %10d bytes\n", "full f32", len(full))
+		fmt.Printf("  %-12s %10d bytes  (%.1fx smaller)\n", "delta q8", len(delta),
+			float64(len(full))/float64(len(delta)))
+	})
+	b.ReportMetric(float64(len(delta)), "delta_bytes")
+	b.ReportMetric(float64(len(full)), "full_bytes")
+	b.ReportMetric(float64(len(full))/float64(len(delta)), "downlink_reduction")
+	b.SetBytes(int64(len(delta)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The per-commit server cost: encode the delta frame once.
+		if _, err := codec.EncodeDelta(diff, codec.Q8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecApplyDelta is the device-side cost of folding a delta
+// frame into the locally held vector.
+func BenchmarkCodecApplyDelta(b *testing.B) {
+	base := codecBenchVector()
+	diff := base.Clone()
+	diff.Scale(0.001)
+	blob, err := codec.EncodeDelta(diff, codec.Q8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := codec.ApplyDelta(base, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCodecJSONBaseline is the pre-refactor wire path — a JSON
 // []float64 body — measured with the same vector so payload_bytes lines
 // up against the codec schemes (the ≥4x dense-path reduction claim).

@@ -6,6 +6,7 @@ import (
 	"flint/internal/codec"
 	"flint/internal/coord"
 	"flint/internal/tensor"
+	"flint/internal/transport"
 )
 
 // Live serving (the production half of the platform): a wall-clock
@@ -66,6 +67,44 @@ const TensorContentType = coord.ContentTypeTensor
 
 // TensorTopK returns a sparse top-k scheme keeping k entries (0 = dim/32).
 func TensorTopK(k int) TensorScheme { return codec.TopK(k) }
+
+// EncodeTensorDelta serializes diff — a difference against a base vector
+// the receiver already holds — as a delta frame under the scheme.
+func EncodeTensorDelta(diff []float64, s TensorScheme) ([]byte, error) {
+	return codec.EncodeDelta(tensor.Vector(diff), s)
+}
+
+// ApplyTensorDelta decodes a delta frame and returns base + diff as a
+// fresh slice, plus the scheme the difference was encoded with.
+func ApplyTensorDelta(base []float64, blob []byte) ([]float64, TensorScheme, error) {
+	v, s, err := codec.ApplyDelta(tensor.Vector(base), blob)
+	return v, s, err
+}
+
+// IsTensorDelta reports whether a codec blob is a delta frame.
+func IsTensorDelta(blob []byte) bool { return codec.IsDelta(blob) }
+
+// Transport negotiation (internal/transport): per-cohort wire-scheme
+// policies, selected per device from its advertised platform,
+// connectivity, and codec capability list. See DESIGN.md §8.
+type (
+	// TransportConfig defines the per-cohort policies and the
+	// delta-broadcast window of a coordinator.
+	TransportConfig = transport.Config
+	// TransportPolicy is one cohort's scheme assignment (task broadcast,
+	// update uplink, delta broadcast).
+	TransportPolicy = transport.Policy
+	// TransportDevice is the device state negotiation sees.
+	TransportDevice = transport.Device
+	// TransportDecision is a negotiated transport assignment.
+	TransportDecision = transport.Decision
+)
+
+// Transport cohort names.
+const (
+	TransportCohortDefault = transport.CohortDefault
+	TransportCohortLowBW   = transport.CohortLowBW
+)
 
 // ParseTensorScheme converts a CLI/wire string ("raw64", "f32", "q8",
 // "topk[:k]") into a scheme.
