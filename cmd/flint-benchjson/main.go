@@ -1,0 +1,105 @@
+// Command flint-benchjson converts `go test -bench` output on stdin into
+// a flat JSON document, so CI can record the serving-path perf trajectory
+// (BENCH_coord.json) per PR instead of letting benchmark numbers scroll
+// away in build logs.
+//
+// Every benchmark line becomes one object keyed by the benchmark name
+// (the -<GOMAXPROCS> suffix stripped), holding ns/op plus any extra
+// reported metrics with units sanitized into identifiers:
+//
+//	{"BenchmarkTaskServeDuringCommit": {"ns_per_op": 3351, "commits_per_sec": 4.77}}
+//
+// Usage: go test -run '^$' -bench ... | flint-benchjson [-out file] [-match regex]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches "BenchmarkName-8   123   4567 ns/op   89 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// unitName rewrites a go-bench metric unit into a JSON-friendly key:
+// "ns/op" → "ns_per_op", "commits/sec" → "commits_per_sec".
+func unitName(unit string) string {
+	unit = strings.ReplaceAll(unit, "/", "_per_")
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, unit)
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	match := flag.String("match", "", "only record benchmarks whose name matches this regex")
+	flag.Parse()
+
+	var filter *regexp.Regexp
+	if *match != "" {
+		var err error
+		if filter, err = regexp.Compile(*match); err != nil {
+			log.Fatalf("flint-benchjson: bad -match: %v", err)
+		}
+	}
+
+	results := map[string]map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo everything through so the tool can sit inside a pipe
+		// without hiding the human-readable output.
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if filter != nil && !filter.MatchString(name) {
+			continue
+		}
+		fields := strings.Fields(m[2])
+		metrics := map[string]float64{}
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // ran into non-metric trailing text
+			}
+			metrics[unitName(fields[i+1])] = v
+		}
+		if len(metrics) > 0 {
+			results[name] = metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("flint-benchjson: read stdin: %v", err)
+	}
+	if len(results) == 0 {
+		log.Fatal("flint-benchjson: no benchmark lines found on stdin")
+	}
+
+	// encoding/json emits map keys sorted, so the output is deterministic.
+	raw, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		log.Fatalf("flint-benchjson: marshal: %v", err)
+	}
+	raw = append(raw, '\n')
+	if *out == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatalf("flint-benchjson: write %s: %v", *out, err)
+	}
+}

@@ -33,6 +33,26 @@ type Strategy interface {
 	Aggregate(global tensor.Vector, updates []Update) error
 }
 
+// weightOf returns an update's effective aggregation weight (a missing or
+// non-positive weight counts as 1).
+func weightOf(u Update) float64 {
+	if u.Weight <= 0 {
+		return 1
+	}
+	return u.Weight
+}
+
+// validateDims rejects updates whose delta does not match the global
+// dimension, with the error every strategy reports for that case.
+func validateDims(global tensor.Vector, updates []Update) error {
+	for _, u := range updates {
+		if len(u.Delta) != len(global) {
+			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, len(u.Delta), len(global))
+		}
+	}
+	return nil
+}
+
 // FedAvg is weighted federated averaging: global += Σ wᵢΔᵢ / Σ wᵢ.
 type FedAvg struct{}
 
@@ -40,27 +60,28 @@ type FedAvg struct{}
 func (FedAvg) Name() string { return "fedavg" }
 
 // Aggregate implements Strategy.
-func (FedAvg) Aggregate(global tensor.Vector, updates []Update) error {
+func (f FedAvg) Aggregate(global tensor.Vector, updates []Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("aggregator: fedavg with no updates")
 	}
+	if err := validateDims(global, updates); err != nil {
+		return err
+	}
+	return f.aggregateRange(global, updates, 0, len(global))
+}
+
+// aggregateRange implements rangeStrategy: it folds the updates into
+// global[lo:hi] only, in the same per-coordinate order as the sequential
+// pass, so sharding the coordinate space across workers reproduces the
+// sequential result bit for bit. Callers have validated dimensions.
+func (FedAvg) aggregateRange(global tensor.Vector, updates []Update, lo, hi int) error {
 	var totalW float64
 	for _, u := range updates {
-		if len(u.Delta) != len(global) {
-			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, len(u.Delta), len(global))
-		}
-		w := u.Weight
-		if w <= 0 {
-			w = 1
-		}
-		totalW += w
+		totalW += weightOf(u)
 	}
+	g := global[lo:hi]
 	for _, u := range updates {
-		w := u.Weight
-		if w <= 0 {
-			w = 1
-		}
-		global.AddScaled(w/totalW, u.Delta)
+		g.AddScaled(weightOf(u)/totalW, u.Delta[lo:hi])
 	}
 	return nil
 }
@@ -94,30 +115,30 @@ func (f FedBuff) Aggregate(global tensor.Vector, updates []Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("aggregator: fedbuff with no updates")
 	}
+	if err := validateDims(global, updates); err != nil {
+		return err
+	}
+	return f.aggregateRange(global, updates, 0, len(global))
+}
+
+// aggregateRange implements rangeStrategy; see FedAvg.aggregateRange for
+// the sharding contract. Each worker recomputes the O(K) scalar weights —
+// negligible next to its O(K·dim/P) vector work.
+func (f FedBuff) aggregateRange(global tensor.Vector, updates []Update, lo, hi int) error {
 	lr := f.ServerLR
 	if lr <= 0 {
 		lr = 1
 	}
 	var totalW float64
 	for _, u := range updates {
-		if len(u.Delta) != len(global) {
-			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, len(u.Delta), len(global))
-		}
-		w := u.Weight
-		if w <= 0 {
-			w = 1
-		}
-		totalW += w * f.StalenessWeight(u.Staleness)
+		totalW += weightOf(u) * f.StalenessWeight(u.Staleness)
 	}
 	if totalW == 0 {
 		return fmt.Errorf("aggregator: fedbuff with zero total weight")
 	}
+	g := global[lo:hi]
 	for _, u := range updates {
-		w := u.Weight
-		if w <= 0 {
-			w = 1
-		}
-		global.AddScaled(lr*w*f.StalenessWeight(u.Staleness)/totalW, u.Delta)
+		g.AddScaled(lr*weightOf(u)*f.StalenessWeight(u.Staleness)/totalW, u.Delta[lo:hi])
 	}
 	return nil
 }

@@ -1,0 +1,172 @@
+package aggregator
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flint/internal/tensor"
+)
+
+// parallelUpdates builds a batch big enough (dim × n ≥ parallelMinWork)
+// that Parallel actually shards instead of delegating.
+func parallelUpdates(n, dim int, seed int64) []Update {
+	rng := rand.New(rand.NewSource(seed))
+	ups := make([]Update, n)
+	for i := range ups {
+		d := tensor.NewVector(dim)
+		for j := range d {
+			d[j] = rng.NormFloat64()
+		}
+		ups[i] = Update{
+			ClientID:  int64(i),
+			Delta:     d,
+			Weight:    float64(1 + rng.Intn(200)),
+			Staleness: rng.Intn(6),
+		}
+	}
+	return ups
+}
+
+// maxAbsDiff returns the largest element-wise |a-b|.
+func maxAbsDiff(a, b tensor.Vector) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestParallelMatchesSequentialFedAvg(t *testing.T) {
+	const dim, n = 10_000, 128
+	ups := parallelUpdates(n, dim, 3)
+	seq := tensor.NewVector(dim)
+	par := seq.Clone()
+	if err := (FedAvg{}).Aggregate(seq, ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Parallel{Inner: FedAvg{}, Workers: 7}).Aggregate(par, ups); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinate sharding replays the identical FP operation sequence per
+	// coordinate, so the match is exact — far inside the 1e-12 contract.
+	if d := maxAbsDiff(seq, par); d > 1e-12 {
+		t.Fatalf("parallel FedAvg diverges from sequential by %g", d)
+	}
+}
+
+func TestParallelMatchesSequentialFedBuff(t *testing.T) {
+	const dim, n = 10_000, 128
+	ups := parallelUpdates(n, dim, 5)
+	f := FedBuff{ServerLR: 0.8, Alpha: 0.5}
+	seq := tensor.NewVector(dim)
+	par := seq.Clone()
+	if err := f.Aggregate(seq, ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Parallel{Inner: f}).Aggregate(par, ups); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(seq, par); d > 1e-12 {
+		t.Fatalf("parallel FedBuff diverges from sequential by %g", d)
+	}
+}
+
+func TestParallelWorkerClampAndOddShards(t *testing.T) {
+	// More workers than a small dim, with work still over the parallel
+	// floor: worker count clamps and the trailing shard is short.
+	const dim, n = 1_000, 1_100
+	ups := parallelUpdates(n, dim, 9)
+	seq := tensor.NewVector(dim)
+	par := seq.Clone()
+	if err := (FedAvg{}).Aggregate(seq, ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Parallel{Inner: FedAvg{}, Workers: 64}).Aggregate(par, ups); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(seq, par); d != 0 {
+		t.Fatalf("clamped-worker FedAvg diverges by %g", d)
+	}
+}
+
+func TestParallelSmallBatchDelegates(t *testing.T) {
+	// Under the work floor the wrapper must behave exactly like the inner
+	// strategy (it delegates wholesale).
+	ups := parallelUpdates(4, 64, 11)
+	seq := tensor.NewVector(64)
+	par := seq.Clone()
+	if err := (FedAvg{}).Aggregate(seq, ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Parallel{Inner: FedAvg{}}).Aggregate(par, ups); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(seq, par); d != 0 {
+		t.Fatalf("small-batch delegate diverges by %g", d)
+	}
+}
+
+func TestParallelErrorParity(t *testing.T) {
+	const dim, n = 10_000, 128
+	p := Parallel{Inner: FedAvg{}}
+
+	// No updates: the inner strategy's error comes through verbatim.
+	if err := p.Aggregate(tensor.NewVector(dim), nil); err == nil || !strings.Contains(err.Error(), "no updates") {
+		t.Fatalf("empty batch error = %v", err)
+	}
+
+	// A dimension mismatch is caught by the shared up-front validation
+	// with the same message the sequential pass reports, and the global
+	// vector is untouched.
+	ups := parallelUpdates(n, dim, 13)
+	ups[50].Delta = tensor.NewVector(dim - 1)
+	global := tensor.NewVector(dim)
+	err := p.Aggregate(global, ups)
+	seqErr := (FedAvg{}).Aggregate(tensor.NewVector(dim), ups)
+	if err == nil || seqErr == nil || err.Error() != seqErr.Error() {
+		t.Fatalf("dim mismatch: parallel %v vs sequential %v", err, seqErr)
+	}
+	for i, x := range global {
+		if x != 0 {
+			t.Fatalf("global[%d] = %g mutated by failed aggregation", i, x)
+		}
+	}
+
+	// FedBuff's zero-total-weight failure (staleness discount underflow)
+	// is detected by every worker before mutation.
+	f := FedBuff{ServerLR: 1, Alpha: 4000}
+	buff := parallelUpdates(n, dim, 17)
+	for i := range buff {
+		buff[i].Staleness = 3 // (1+3)^4000 overflows → discount 0
+	}
+	err = (Parallel{Inner: f}).Aggregate(tensor.NewVector(dim), buff)
+	seqErr = f.Aggregate(tensor.NewVector(dim), buff)
+	if err == nil || seqErr == nil || err.Error() != seqErr.Error() {
+		t.Fatalf("zero weight: parallel %v vs sequential %v", err, seqErr)
+	}
+}
+
+func TestParallelNonSeparableDelegates(t *testing.T) {
+	// TrimmedMean has no range kernel: the wrapper must hand the whole
+	// batch to it unchanged.
+	ups := parallelUpdates(20, 64, 19)
+	seq := tensor.NewVector(64)
+	par := seq.Clone()
+	tm := TrimmedMean{TrimFrac: 0.1}
+	if err := tm.Aggregate(seq, ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Parallel{Inner: tm}).Aggregate(par, ups); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(seq, par); d != 0 {
+		t.Fatalf("non-separable delegate diverges by %g", d)
+	}
+	if got := (Parallel{Inner: tm}).Name(); got != "parallel(trimmed-mean)" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

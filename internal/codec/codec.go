@@ -35,10 +35,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"flint/internal/tensor"
 )
@@ -418,6 +421,13 @@ func Decode(blob []byte) (tensor.Vector, Scheme, error) {
 	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(blob[12:]) {
 		return nil, Scheme{}, ErrChecksum
 	}
+	return decodePayload(payload, dim, s)
+}
+
+// decodePayload parses a checksum-verified payload into a dense vector.
+// Shared by Decode (whole blob in memory) and DecodeFrom (streamed into a
+// pooled buffer).
+func decodePayload(payload []byte, dim int, s Scheme) (tensor.Vector, Scheme, error) {
 	// Check the payload length against the declared dim BEFORE the
 	// dim-sized allocation, so a header-only hostile blob can't buy a
 	// MaxDim-element make with 16 bytes on the wire. Top-k is exempt by
@@ -491,6 +501,133 @@ func decodeQ8(payload []byte, v tensor.Vector) error {
 		for i := lo; i < hi; i++ {
 			v[i] = float64(int8(vals[i])) * scale
 		}
+	}
+	return nil
+}
+
+// payloadPool recycles DecodeFrom's payload scratch buffers: a server
+// decoding one update per device per round reuses a handful of buffers
+// grown to the wire payload size instead of allocating (and growing) a
+// fresh one per request the way io.ReadAll does.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// DecodeFrom reads exactly one framed blob from r and decodes it,
+// streaming: the 16-byte header is read and validated first, the
+// scheme-specific payload length is derived from it, and only then is the
+// payload read — into a pooled scratch buffer of exactly that size, which
+// is returned to the pool before DecodeFrom returns. A wantDim > 0
+// requires the header's element count to equal it, rejecting wrong-sized
+// tensors before any payload byte is read or allocated (0 accepts any
+// in-range count). Bytes after the frame are left unread in r.
+//
+// Read errors from r (e.g. an http.MaxBytesError from a bounded body) are
+// wrapped with %w so transports can branch on them.
+func DecodeFrom(r io.Reader, wantDim int) (tensor.Vector, Scheme, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, Scheme{}, fmt.Errorf("%w: stream ended inside header", ErrTooShort)
+		}
+		return nil, Scheme{}, fmt.Errorf("codec: read header: %w", err)
+	}
+	dim, s, err := Header(hdr[:])
+	if err != nil {
+		return nil, Scheme{}, err
+	}
+	if wantDim > 0 && dim != wantDim {
+		return nil, Scheme{}, fmt.Errorf("%w: blob declares %d elements, want %d", ErrDim, dim, wantDim)
+	}
+	// Derive the exact payload length. Q8 and top-k carry it in their own
+	// leading u32 (chunk size / kept-entry count), so that prefix is read
+	// ahead and re-joined with the rest of the payload below.
+	var prefix [4]byte
+	prefixLen := 0
+	plen := 0
+	switch s.Kind {
+	case KindRawF64:
+		plen = 8 * dim
+	case KindF32:
+		plen = 4 * dim
+	case KindQ8:
+		if err := readPrefix(r, prefix[:]); err != nil {
+			return nil, Scheme{}, err
+		}
+		prefixLen = 4
+		chunk := binary.LittleEndian.Uint32(prefix[:])
+		if chunk == 0 || chunk > MaxDim {
+			return nil, Scheme{}, fmt.Errorf("%w: q8 chunk size %d", ErrPayload, chunk)
+		}
+		chunks := 0
+		if dim > 0 {
+			chunks = (dim + int(chunk) - 1) / int(chunk)
+		}
+		plen = 4 + 4*chunks + dim
+	case KindTopK:
+		if err := readPrefix(r, prefix[:]); err != nil {
+			return nil, Scheme{}, err
+		}
+		prefixLen = 4
+		k := binary.LittleEndian.Uint32(prefix[:])
+		if int64(k) > int64(dim) {
+			return nil, Scheme{}, fmt.Errorf("%w: topk count %d exceeds dim %d", ErrPayload, k, dim)
+		}
+		plen = 4 + 8*int(k)
+	}
+	bufp := payloadPool.Get().(*[]byte)
+	defer payloadPool.Put(bufp)
+	payload, err := readPayload(r, bufp, plen, prefix[:prefixLen], wantDim > 0)
+	if err != nil {
+		return nil, Scheme{}, err
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(hdr[12:]) {
+		return nil, Scheme{}, ErrChecksum
+	}
+	return decodePayload(payload, dim, s)
+}
+
+// payloadChunk bounds how much readPayload allocates ahead of bytes that
+// have actually arrived when the declared length is untrusted.
+const payloadChunk = 1 << 20
+
+// readPayload fills the pooled buffer at *bufp with plen payload bytes
+// from r (after the already-consumed prefix) and returns the filled
+// slice, leaving the grown buffer in *bufp for reuse. When the caller
+// pre-validated the length against a known dimension (trusted), the
+// buffer is sized up front in one step. Otherwise the length is only a
+// header claim, so the buffer grows at most payloadChunk ahead of bytes
+// that have actually arrived — a 16-byte hostile header can't buy a
+// MaxDim-sized allocation without really sending the payload (the
+// streaming mirror of Decode's length-before-alloc check).
+func readPayload(r io.Reader, bufp *[]byte, plen int, prefix []byte, trusted bool) ([]byte, error) {
+	payload := (*bufp)[:0]
+	if trusted {
+		payload = slices.Grow(payload, plen)
+	}
+	payload = append(payload, prefix...)
+	for len(payload) < plen {
+		n := min(plen-len(payload), payloadChunk)
+		start := len(payload)
+		payload = slices.Grow(payload, n)[:start+n]
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			*bufp = payload[:0]
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("%w: stream ended inside payload (want %d bytes)", ErrPayload, plen)
+			}
+			return nil, fmt.Errorf("codec: read payload: %w", err)
+		}
+	}
+	*bufp = payload[:0]
+	return payload, nil
+}
+
+// readPrefix fills p with a payload's leading length field, mapping a
+// short stream to ErrPayload.
+func readPrefix(r io.Reader, p []byte) error {
+	if _, err := io.ReadFull(r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: stream ended inside payload length", ErrPayload)
+		}
+		return fmt.Errorf("codec: read payload: %w", err)
 	}
 	return nil
 }

@@ -1,13 +1,16 @@
 package codec
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"hash/crc32"
+	"io"
 	"math"
 	"math/rand"
 	"testing"
+	"testing/iotest"
 
 	"flint/internal/tensor"
 )
@@ -403,5 +406,162 @@ func TestDeltaDownlinkReduction(t *testing.T) {
 	if ratio := float64(len(full)) / float64(len(delta)); ratio < 3 {
 		t.Fatalf("delta downlink reduction %.2fx (full %d bytes, delta %d bytes), want >= 3x",
 			ratio, len(full), len(delta))
+	}
+}
+
+// countingReader tracks how many bytes DecodeFrom consumed from the
+// stream, so tests can pin the "validate before buffering" contract.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func TestDecodeFromMatchesDecode(t *testing.T) {
+	v := randVec(4096, 31, 0.02)
+	for _, s := range []Scheme{RawF64, F32, Q8, TopK(0), TopK(7)} {
+		blob, err := Encode(v, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantScheme, err := Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotScheme, err := DecodeFrom(bytes.NewReader(blob), len(v))
+		if err != nil {
+			t.Fatalf("%v: DecodeFrom: %v", s, err)
+		}
+		if gotScheme != wantScheme {
+			t.Fatalf("%v: scheme %v, want %v", s, gotScheme, wantScheme)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: dim %d, want %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v: element %d = %g, want %g", s, i, got[i], want[i])
+			}
+		}
+	}
+	// Delta frames stream-decode too, returning the raw difference like
+	// Decode does.
+	blob, err := EncodeDelta(v, Q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeFrom(bytes.NewReader(blob), len(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("delta element %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeFromDimMismatchStopsAtHeader(t *testing.T) {
+	blob, err := Encode(randVec(1024, 33, 1), F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := &countingReader{r: bytes.NewReader(blob)}
+	_, _, err = DecodeFrom(cr, 999)
+	if !errors.Is(err, ErrDim) {
+		t.Fatalf("dim mismatch error = %v, want ErrDim", err)
+	}
+	// The wrong-sized payload must never have been buffered: only the
+	// 16-byte header was consumed.
+	if cr.n > 16 {
+		t.Fatalf("DecodeFrom read %d bytes past a rejected header", cr.n)
+	}
+}
+
+func TestDecodeFromLeavesTrailingBytes(t *testing.T) {
+	blob, err := Encode(randVec(256, 35, 1), Q8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append([]byte{}, blob...), "trailing"...)
+	r := bytes.NewReader(stream)
+	if _, _, err := DecodeFrom(r, 256); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(r)
+	if string(rest) != "trailing" {
+		t.Fatalf("stream remainder = %q, want the trailing bytes untouched", rest)
+	}
+}
+
+func TestDecodeFromErrors(t *testing.T) {
+	v := randVec(256, 37, 1)
+	blob, err := Encode(v, F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated header.
+	if _, _, err := DecodeFrom(bytes.NewReader(blob[:7]), 0); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short header error = %v, want ErrTooShort", err)
+	}
+	// Truncated payload.
+	if _, _, err := DecodeFrom(bytes.NewReader(blob[:len(blob)-9]), 256); !errors.Is(err, ErrPayload) {
+		t.Fatalf("short payload error = %v, want ErrPayload", err)
+	}
+	// Corrupt payload byte → checksum failure.
+	bad := append([]byte{}, blob...)
+	bad[20] ^= 0xFF
+	if _, _, err := DecodeFrom(bytes.NewReader(bad), 256); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt payload error = %v, want ErrChecksum", err)
+	}
+	// A non-codec read error surfaces wrapped, not swallowed.
+	failing := io.MultiReader(bytes.NewReader(blob[:30]), iotest.ErrReader(errBoom))
+	if _, _, err := DecodeFrom(failing, 256); !errors.Is(err, errBoom) {
+		t.Fatalf("reader error = %v, want errBoom in chain", err)
+	}
+}
+
+var errBoom = errors.New("boom")
+
+func TestDecodeFromUntrustedDimClaims(t *testing.T) {
+	// With wantDim=0 the declared length is untrusted: a 16-byte header
+	// claiming a MaxDim raw64 vector, followed by nothing, must fail
+	// without the stream ever delivering (or the decoder allocating
+	// ahead of) the claimed 128 MiB.
+	hdr := make([]byte, 16)
+	copy(hdr, Magic)
+	hdr[3] = Version
+	hdr[4] = byte(KindRawF64)
+	binary.LittleEndian.PutUint32(hdr[8:], MaxDim)
+	cr := &countingReader{r: bytes.NewReader(hdr)}
+	if _, _, err := DecodeFrom(cr, 0); !errors.Is(err, ErrPayload) {
+		t.Fatalf("hostile huge-dim stream error = %v, want ErrPayload", err)
+	}
+	if cr.n > 16 {
+		t.Fatalf("decoder consumed %d bytes of a header-only stream", cr.n)
+	}
+	// A legitimate blob still round-trips with wantDim=0.
+	v := randVec(512, 41, 1)
+	blob, err := Encode(v, RawF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeFrom(bytes.NewReader(blob), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("wantDim=0 round-trip: element %d = %g, want %g", i, got[i], v[i])
+		}
 	}
 }

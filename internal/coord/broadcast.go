@@ -1,0 +1,128 @@
+package coord
+
+import (
+	"sync"
+
+	"flint/internal/codec"
+	"flint/internal/tensor"
+)
+
+// broadcastState is the coordinator's immutable broadcast plane: one
+// published model version and everything the task-serving path needs to
+// ship it — the parameter snapshot, the per-scheme encoded blob cache,
+// the delta-base version ring, and the per-(base, scheme) delta-frame
+// cache. The commit pipeline builds the next broadcastState off to the
+// side (pre-encoding the hot blobs and deltas), then publishes it with a
+// single atomic pointer swap; readers load the pointer once and see a
+// perfectly consistent version↔payload pairing, with no lock shared with
+// the commit path.
+//
+// The scalar fields and ring are frozen at publish. The two caches keep
+// filling lazily after publish (a rare cohort's scheme, an odd delta
+// base) through sync.Map, whose loads are lock-free for keys that exist —
+// the common case, since the default cohort's blob and the fleet's hot
+// delta bases are pre-encoded before the swap. Concurrent lazy fills may
+// duplicate an encode; both produce identical bytes and one wins.
+type broadcastState struct {
+	// version is the published model version this plane serves.
+	version int
+	// published is the immutable parameter snapshot at version; tasks
+	// share it read-only, so serving never copies.
+	published tensor.Vector
+	// ring retains the last Transport.DeltaHistory published versions
+	// (ascending, newest last — including this one) as delta-broadcast
+	// bases. Entries share published snapshots; all read-only.
+	ring []ringEntry
+
+	// blobs caches `published` encoded per broadcast scheme
+	// (codec.Scheme → []byte).
+	blobs sync.Map
+	// deltas caches encoded delta frames from a ring base to `version`
+	// (deltaKey → []byte).
+	deltas sync.Map
+}
+
+// ringEntry is one retained published version.
+type ringEntry struct {
+	version int
+	params  tensor.Vector
+}
+
+// deltaKey addresses one cached delta frame: the base it applies against
+// and the scheme it is encoded with (the target version is implicit — the
+// cache lives inside one broadcastState).
+type deltaKey struct {
+	base   int
+	scheme codec.Scheme
+}
+
+// newBroadcastState freezes a published snapshot into a broadcast plane.
+func newBroadcastState(version int, published tensor.Vector, ring []ringEntry) *broadcastState {
+	return &broadcastState{version: version, published: published, ring: ring}
+}
+
+// setBlob pre-populates the full-broadcast cache (commit pipeline, before
+// the plane is published).
+func (bs *broadcastState) setBlob(s codec.Scheme, blob []byte) { bs.blobs.Store(s, blob) }
+
+// setDelta pre-populates the delta cache (commit pipeline, before the
+// plane is published).
+func (bs *broadcastState) setDelta(base int, s codec.Scheme, blob []byte) {
+	bs.deltas.Store(deltaKey{base: base, scheme: s}, blob)
+}
+
+// fullBlob returns the published vector encoded under s, paying the
+// encode at most once per (version, scheme) — and never for the default
+// cohort, whose blob the commit pipeline pre-encoded.
+func (bs *broadcastState) fullBlob(s codec.Scheme) ([]byte, error) {
+	if blob, ok := bs.blobs.Load(s); ok {
+		return blob.([]byte), nil
+	}
+	blob, err := codec.Encode(bs.published, s)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := bs.blobs.LoadOrStore(s, blob)
+	return actual.([]byte), nil
+}
+
+// baseParams looks the base version up in the ring.
+func (bs *broadcastState) baseParams(base int) (tensor.Vector, bool) {
+	for _, e := range bs.ring {
+		if e.version == base {
+			return e.params, true
+		}
+	}
+	return nil, false
+}
+
+// deltaBlob returns the delta frame base→version under s, encoding and
+// caching it per (base, scheme) on first use. A base equal to the current
+// version is encoded under noChange instead (the caller picks the
+// cheapest scheme the device can decode for an all-zero diff). cached
+// reports whether the frame came from the cache; ok is false when the
+// base is no longer in the version ring (or the encode failed).
+func (bs *broadcastState) deltaBlob(base int, s, noChange codec.Scheme) (blob []byte, cached, ok bool) {
+	if base == bs.version {
+		s = noChange
+	}
+	key := deltaKey{base: base, scheme: s}
+	if blob, ok := bs.deltas.Load(key); ok {
+		return blob.([]byte), true, true
+	}
+	baseParams, found := bs.baseParams(base)
+	if !found || len(baseParams) != len(bs.published) {
+		return nil, false, false
+	}
+	diff := bs.published.Clone()
+	diff.Sub(baseParams)
+	encoded, err := codec.EncodeDelta(diff, s)
+	if err != nil {
+		return nil, false, false
+	}
+	// Losing the LoadOrStore race still cost this request the full
+	// encode, so it counts as a miss either way; only the Load fast path
+	// above reports cached.
+	actual, _ := bs.deltas.LoadOrStore(key, encoded)
+	return actual.([]byte), false, true
+}

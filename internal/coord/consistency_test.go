@@ -1,0 +1,262 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flint/internal/codec"
+	"flint/internal/model"
+	"flint/internal/tensor"
+	"flint/internal/transport"
+)
+
+// groundTruth caches each published version's parameter vector, read from
+// the store (which the commit pipeline fills before the serving swap).
+type groundTruth struct {
+	mu sync.Mutex
+	c  *Coordinator
+	v  map[int]tensor.Vector
+}
+
+func (g *groundTruth) params(t *testing.T, version int) tensor.Vector {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if p, ok := g.v[version]; ok {
+		return p
+	}
+	m, err := g.c.Store().Get(g.c.Config().ModelName, version)
+	if err != nil {
+		t.Fatalf("store has no v%d although a task referenced it: %v", version, err)
+	}
+	p := m.Params()
+	g.v[version] = p
+	return p
+}
+
+// TestTaskSnapshotConsistencyUnderCommits is the broadcast plane's
+// concurrency gauntlet (run with -race): many goroutines hammer the task
+// path — full broadcasts and delta requests against every version they
+// have seen — while committer goroutines keep the commit pipeline
+// permanently busy. The invariant under test: a task's version metadata
+// and its payload always come from the same published snapshot, i.e. the
+// blob (or the delta applied to its base) reproduces the store's record
+// of exactly the version the task names, bit for bit (raw64 end to end).
+// Before the plane split this property required the coordinator mutex;
+// now the hammers never touch any lock the commit pipeline holds.
+func TestTaskSnapshotConsistencyUnderCommits(t *testing.T) {
+	c, err := New(Config{
+		Mode:           ModeAsync,
+		ModelKind:      model.KindA,
+		Seed:           1,
+		TargetUpdates:  4,
+		Quorum:         2,
+		MaxInflight:    1 << 30,
+		RoundDeadline:  time.Minute,
+		StalenessAlpha: 0.5,
+		QueueDepth:     256,
+		KeepVersions:   -1, // every version stays checkable
+		Transport: transport.Config{
+			// Lossless both ways so reconstruction must be exact.
+			Default:      transport.Policy{Task: codec.RawF64, Update: codec.RawF64, Delta: codec.RawF64},
+			DeltaHistory: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const (
+		hammers      = 8
+		committers   = 3
+		targetCommit = 12
+	)
+	truth := &groundTruth{c: c, v: map[int]tensor.Vector{}}
+	stop := make(chan struct{})
+	var nextID atomic.Int64
+	nextID.Store(1000)
+
+	info := func(id int64) DeviceInfo {
+		return DeviceInfo{ID: id, Model: "Pixel-6", Platform: "Android",
+			WiFi: true, BatteryHigh: true, ModernOS: true, SessionSec: 3600, Weight: 10}
+	}
+
+	var wg sync.WaitGroup
+	// Committers drive the pipeline: request, submit, repeat. Every
+	// TargetUpdates accepted updates forces a full commit (aggregate,
+	// snapshot build, store insert, swap).
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			c.CheckIn(info(id))
+			delta := tensor.NewVector(c.dim)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				task, err := c.RequestTask(id)
+				if err != nil {
+					continue // commit in flight or assignment pending
+				}
+				for j := range delta {
+					delta[j] = 1e-4 * float64(id%7+1) * float64(j%13+1)
+				}
+				_ = c.SubmitUpdate(Submission{
+					DeviceID:    id,
+					RoundID:     task.RoundID,
+					BaseVersion: task.BaseVersion,
+					Weight:      10,
+					Delta:       delta,
+				})
+			}
+		}(int64(i + 1))
+	}
+	// Hammers: each request uses a fresh device (always assignable) and
+	// randomly advertises a previously published base version, so full
+	// blobs, cached deltas, pre-encoded deltas, and no-change frames all
+	// flow while versions advance underneath.
+	errs := make(chan error, hammers)
+	for i := 0; i < hammers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := nextID.Add(1)
+				c.CheckIn(info(id))
+				q := TaskQuery{Binary: true}
+				if v := c.Version(); v > 1 && rng.Intn(2) == 0 {
+					q.BaseVersion = 1 + rng.Intn(v)
+				}
+				task, err := c.RequestTaskWith(id, q)
+				if err != nil {
+					continue
+				}
+				want := truth.params(t, task.BaseVersion)
+				// The shared Params slice must be the published snapshot
+				// of exactly the version the task names.
+				if len(task.Params) != len(want) {
+					errs <- errf("task v%d: params dim %d, want %d", task.BaseVersion, len(task.Params), len(want))
+					return
+				}
+				for j := range want {
+					if task.Params[j] != want[j] {
+						errs <- errf("task v%d: params[%d] = %g, want %g (torn snapshot)", task.BaseVersion, j, task.Params[j], want[j])
+						return
+					}
+				}
+				// And the encoded payload must rebuild the same version.
+				var got tensor.Vector
+				if task.DeltaBase > 0 {
+					if task.DeltaBase != q.BaseVersion {
+						errs <- errf("task v%d: delta base %d, requested %d", task.BaseVersion, task.DeltaBase, q.BaseVersion)
+						return
+					}
+					base := truth.params(t, task.DeltaBase)
+					got, _, err = codec.ApplyDelta(base, task.EncodedParams)
+				} else {
+					got, _, err = codec.Decode(task.EncodedParams)
+				}
+				if err != nil {
+					errs <- errf("task v%d: payload decode: %v", task.BaseVersion, err)
+					return
+				}
+				// Full blobs are raw64 → exact. Delta reconstruction is
+				// base + (published - base): lossless frames, but FP
+				// re-association costs an ulp — a version mismatch would
+				// be off by the ~1e-4 per-commit step, 8 orders louder
+				// than the 1e-12 tolerance.
+				for j := range want {
+					if d := got[j] - want[j]; d > 1e-12 || d < -1e-12 {
+						errs <- errf("task v%d (delta base %d): payload[%d] = %g, want %g (version/blob mismatch)",
+							task.BaseVersion, task.DeltaBase, j, got[j], want[j])
+						return
+					}
+				}
+			}
+		}(int64(i + 1))
+	}
+
+	// Generous budget: a single-core -race runner needs wall-clock for 12
+	// full pipelines while 8 hammers compete for the same core.
+	deadline := time.Now().Add(45 * time.Second)
+	for c.Version() < 1+targetCommit && time.Now().Before(deadline) {
+		select {
+		case err := <-errs:
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if v := c.Version(); v < 1+targetCommit {
+		t.Fatalf("only %d commits happened under load, want >= %d", v-1, targetCommit)
+	}
+	// The hammer mix must actually have exercised the delta plane.
+	if c.Counters().Counter("task_sent_delta").Value()+c.Counters().Counter("delta_cache_hits").Value()+
+		c.Counters().Counter("delta_cache_misses").Value() == 0 {
+		t.Fatal("no delta frames flowed during the consistency hammer")
+	}
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// TestWriteBehindPersistence pins the stage-3 contract: commits return
+// before their disk write, versions are readable from the store
+// immediately, publish_pending drains, and Close flushes every committed
+// snapshot to the backing directory.
+func TestWriteBehindPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := syncTestConfig()
+	cfg.StoreDir = dir
+	cfg.KeepVersions = -1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := c.Config().ModelName
+
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		base := c.Version()
+		for id := int64(1); id <= 3; id++ {
+			submitFor(t, c, id, join(t, c, id))
+		}
+		eventually(t, 5*time.Second, func() bool { return c.Version() == base+1 },
+			"round never committed")
+		// The new version is readable before any disk flush is forced.
+		if _, err := c.Store().Get(name, base+1); err != nil {
+			t.Fatalf("v%d not in store right after commit: %v", base+1, err)
+		}
+	}
+	c.Close()
+	if got := c.Counters().Counter("publish_pending").Value(); got != 0 {
+		t.Fatalf("publish_pending = %d after Close, want 0", got)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, name+"-v*.fct"))
+	if len(matches) != rounds+1 { // initial publish + one per committed round
+		t.Fatalf("persisted %d snapshots, want %d: %v", len(matches), rounds+1, matches)
+	}
+}

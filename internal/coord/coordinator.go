@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -127,13 +128,49 @@ type StatusReport struct {
 	Recent    []RoundSummary   `json:"recent_rounds,omitempty"`
 }
 
+// serving pairs the current round with the broadcast plane it trains
+// from. The task path loads the pair with one atomic read, so a task can
+// never mix one round's metadata with another version's payload — the
+// snapshot-consistency invariant the pointer swap exists for.
+type serving struct {
+	round *Round
+	bcast *broadcastState
+}
+
+// persistReq is one write-behind job: flush version to the backing
+// directory and, when prune > 0, drop that old version afterwards.
+type persistReq struct {
+	version int
+	prune   int
+}
+
+// persistQueueDepth bounds the write-behind backlog. A full queue makes
+// the commit pipeline wait for the disk — bounded memory beats unbounded
+// deferral — but the serving paths never notice either way.
+const persistQueueDepth = 16
+
 // Coordinator is the live federated training server: it tracks the device
 // fleet in a sharded registry, runs the round lifecycle, folds updates via
 // an aggregator.Strategy, and publishes model versions to the store.
 //
-// Check-in, heartbeat, and task requests are served synchronously; update
-// submissions flow through a bounded queue drained by a single ingest
-// worker, which serializes round mutation and aggregation.
+// State is split across two planes. The *broadcast plane* is an immutable
+// broadcastState (published params, blob/delta caches, version ring)
+// paired with the current round behind one atomic pointer: check-in,
+// task, and status requests only ever load that pointer plus per-object
+// O(1) locks (registry shards, the round's own mutex), so the serving
+// paths share no mutex with the commit pipeline and never block on
+// aggregation, encoding, or disk. The *round plane* — the global model,
+// round lifecycle transitions, and the commit pipeline — stays under mu,
+// which only the ingest worker and the deadline watchdog take.
+//
+// A commit is a staged pipeline under mu: (1) sharded parallel
+// aggregation into the global model, (2) building the successor
+// broadcastState off to the side — pre-encoding the default cohort's
+// blob and the delta frames for the base versions live devices actually
+// hold (tracked per device in the registry), (3) inserting the snapshot
+// into the store in memory, swapping the serving pointer, and handing the
+// disk write to a write-behind worker (publish_pending counts the
+// backlog).
 type Coordinator struct {
 	cfg        Config
 	reg        *Registry
@@ -141,58 +178,50 @@ type Coordinator struct {
 	strategy   aggregator.Strategy
 	counters   *metrics.CounterSet
 	negotiator *transport.Negotiator
+	// dim is the immutable flat parameter count, readable without
+	// touching the (commit-mutated) global model.
+	dim int
 
-	// version and roundID mirror the mu-guarded state for lock-free
-	// reads on the check-in path.
+	// version and roundID mirror committed state for lock-free reads on
+	// the check-in path.
 	version atomic.Int64
 	roundID atomic.Uint64
 
-	mu sync.Mutex // guards round, global, published, blobs, ring, deltas, history
+	// serving is the atomically swapped (round, broadcast plane) pair —
+	// everything the task path reads.
+	serving atomic.Pointer[serving]
+	// deadlineNS mirrors the current round's deadline so the watchdog's
+	// idle tick is a single atomic load, no locks.
+	deadlineNS atomic.Int64
+
+	// mu is the round-plane lock: it serializes the commit/abandon
+	// pipeline (round lifecycle edges, aggregation into global, snapshot
+	// builds, store inserts, serving swaps). Only the ingest worker and
+	// the watchdog take it — never a request handler.
+	mu sync.Mutex
 	// global is the trainable model whose flat params aggregation
-	// mutates.
+	// mutates. Guarded by mu.
 	global model.Model
-	// published is an immutable snapshot of the params at `version`;
-	// task responses share it read-only, so serving never copies.
-	published tensor.Vector
-	// blobs caches `published` encoded per broadcast scheme for the
-	// current version: the default cohort's scheme is paid once per
-	// commit, other cohorts' lazily on first request, and never once
-	// per /v1/task.
-	blobs map[codec.Scheme][]byte
-	// ring retains the last Transport.DeltaHistory published versions
-	// (ascending, newest last) as delta-broadcast bases. Entries share
-	// the published snapshots; all read-only.
-	ring []ringEntry
-	// deltas caches encoded delta frames from a ring base to the
-	// current version, keyed per (base, scheme) the way blobs caches
-	// the full broadcast. Reset on every commit.
-	deltas  map[deltaKey][]byte
-	round   *Round
-	history []RoundSummary
 
-	ingest chan Submission
-	done   chan struct{}
-	wg     sync.WaitGroup
-	closed atomic.Bool
-}
+	// historyMu guards the finished-round log (commit appends O(1),
+	// /v1/status reads).
+	historyMu sync.Mutex
+	history   []RoundSummary
 
-// ringEntry is one retained published version.
-type ringEntry struct {
-	version int
-	params  tensor.Vector
-}
-
-// deltaKey addresses one cached delta frame: the base it applies against
-// and the scheme it is encoded with (the current version is implicit —
-// the cache is cleared on commit).
-type deltaKey struct {
-	base   int
-	scheme codec.Scheme
+	ingest  chan Submission
+	persist chan persistReq
+	done    chan struct{}
+	// loopWG tracks the ingest worker and watchdog; persistWG tracks the
+	// write-behind worker, which drains after the loops stop so Close
+	// never loses a queued disk write.
+	loopWG    sync.WaitGroup
+	persistWG sync.WaitGroup
+	closed    atomic.Bool
 }
 
 // New builds and starts a coordinator: it initializes the model, publishes
-// version 1, opens round 1, and starts the ingest worker and the deadline
-// watchdog. Call Close to stop.
+// version 1, opens round 1, and starts the ingest worker, the deadline
+// watchdog, and the write-behind persister. Call Close to stop.
 func New(cfg Config) (*Coordinator, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -216,72 +245,86 @@ func New(cfg Config) (*Coordinator, error) {
 		store:      store,
 		counters:   metrics.NewCounterSet(),
 		negotiator: negotiator,
+		dim:        m.NumParams(),
 		global:     m,
 		ingest:     make(chan Submission, cfg.QueueDepth),
+		persist:    make(chan persistReq, persistQueueDepth),
 		done:       make(chan struct{}),
 	}
+	// Both strategies are coordinate-separable, so the commit pipeline's
+	// aggregation shards across cores and stays bit-identical to the
+	// sequential fold.
 	switch cfg.Mode {
 	case ModeSync:
-		c.strategy = aggregator.FedAvg{}
+		c.strategy = aggregator.Parallel{Inner: aggregator.FedAvg{}}
 	case ModeAsync:
-		c.strategy = aggregator.FedBuff{ServerLR: cfg.ServerLR, Alpha: cfg.StalenessAlpha}
+		c.strategy = aggregator.Parallel{Inner: aggregator.FedBuff{ServerLR: cfg.ServerLR, Alpha: cfg.StalenessAlpha}}
 	}
 	v, err := store.Put(cfg.ModelName, m)
 	if err != nil {
 		return nil, err
 	}
 	c.version.Store(int64(v))
-	c.published = m.Params().Clone()
-	c.blobs = make(map[codec.Scheme][]byte)
-	c.deltas = make(map[deltaKey][]byte)
+	bs := newBroadcastState(v, m.Params().Clone(), nil)
 	if !cfg.OmitParams {
 		// With OmitParams no blob is ever served, so skip the encode —
 		// it costs O(dim) work and allocation per publish. Otherwise
 		// pay the default cohort's broadcast eagerly (the common-path
-		// scheme); other cohorts' blobs fill in lazily per commit.
-		blob, err := codec.Encode(c.published, cfg.Transport.Default.Task)
+		// scheme); other cohorts' blobs fill in lazily.
+		blob, err := codec.Encode(bs.published, cfg.Transport.Default.Task)
 		if err != nil {
 			return nil, err
 		}
-		c.blobs[cfg.Transport.Default.Task] = blob
+		bs.setBlob(cfg.Transport.Default.Task, blob)
 		if cfg.Transport.DeltaHistory > 0 {
-			c.ring = append(c.ring, ringEntry{version: v, params: c.published})
+			bs.ring = []ringEntry{{version: v, params: bs.published}}
 		}
 	}
-	// Pre-register the downlink wire-stat counters so /v1/status always
-	// carries them (a dashboard shouldn't have to guess whether a zero
-	// is "no deltas yet" or "too old a server").
+	// Pre-register the wire-stat and pipeline counters so /v1/status
+	// always carries them (a dashboard shouldn't have to guess whether a
+	// zero is "no deltas yet" or "too old a server").
 	for _, name := range []string{
 		"broadcast_bytes_full", "broadcast_bytes_delta",
 		"delta_cache_hits", "delta_cache_misses", "delta_base_aged",
+		"delta_pre_encoded", "publish_pending", "persist_error",
 		"task_sent_delta", "transport_fallback_f32", "update_rejected_oversize",
 		"checkin_unknown_scheme", "task_unknown_scheme",
 		"task_cohort_" + transport.CohortDefault, "task_cohort_" + transport.CohortLowBW,
 	} {
 		c.counters.Counter(name)
 	}
-	c.round = c.newRoundLocked(1, v, cfg.Clock())
+	r := c.newRound(1, bs, cfg.Clock())
+	c.serving.Store(&serving{round: r, bcast: bs})
 	c.roundID.Store(1)
-	c.wg.Add(2)
+	c.deadlineNS.Store(r.Deadline.UnixNano())
+	c.loopWG.Add(2)
 	go c.ingestLoop()
 	go c.watchdog()
+	c.persistWG.Add(1)
+	go c.persistLoop()
 	return c, nil
 }
 
-// newRoundLocked opens the next round against base version v.
-func (c *Coordinator) newRoundLocked(id uint64, v int, now time.Time) *Round {
+// newRound opens the next round against broadcast plane bs.
+func (c *Coordinator) newRound(id uint64, bs *broadcastState, now time.Time) *Round {
 	maxAssign := int(float64(c.cfg.TargetUpdates) * c.cfg.OverCommit)
 	if c.cfg.Mode == ModeAsync {
 		maxAssign = c.cfg.MaxInflight
 	}
-	return newRound(id, v, c.cfg.TargetUpdates, c.cfg.Quorum, maxAssign, now, now.Add(c.cfg.RoundDeadline))
+	return newRound(id, bs.version, c.cfg.TargetUpdates, c.cfg.Quorum, maxAssign, now, now.Add(c.cfg.RoundDeadline))
 }
 
-// Close stops the ingest worker and watchdog, dropping any queued updates.
+// Close stops the ingest worker and watchdog (dropping any queued
+// updates), then flushes the write-behind queue so every committed
+// version reaches disk before Close returns.
 func (c *Coordinator) Close() {
 	if c.closed.CompareAndSwap(false, true) {
 		close(c.done)
-		c.wg.Wait()
+		c.loopWG.Wait()
+		// No commit can run past this point, so the persist channel has
+		// no senders left; closing it drains the worker cleanly.
+		close(c.persist)
+		c.persistWG.Wait()
 	}
 }
 
@@ -358,16 +401,20 @@ func (c *Coordinator) RequestTask(deviceID int64) (Task, error) {
 // the version ring, the task ships a codec delta frame instead of the
 // full vector. Returns ErrNoTask when the device should poll again
 // later.
+//
+// The path is commit-free: it loads the serving pair once and touches
+// only registry shard locks and the round's O(1) mutex, so a request
+// issued mid-commit is answered immediately from the outgoing plane
+// instead of stalling behind aggregation or a disk write.
 func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error) {
 	now := c.cfg.Clock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sv := c.serving.Load()
+	r, bs := sv.round, sv.bcast
 	info, ok := c.reg.Get(deviceID)
 	if !ok {
 		// Identity errors stay stable regardless of round budget.
 		return Task{}, ErrUnknownDevice
 	}
-	r := c.round
 	if !r.assignable(now) {
 		c.counters.Counter("task_denied_round").Inc()
 		return Task{}, ErrNoTask
@@ -376,9 +423,12 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 		c.counters.Counter("task_denied_device").Inc()
 		return Task{}, ErrNoTask
 	}
-	if err := r.recordAssignment(deviceID); err != nil {
+	if !r.tryAssign(deviceID, now) {
+		// The budget filled (or the round went terminal) between the
+		// pre-check and here: idle the device again and have it re-poll.
 		c.reg.Release(deviceID)
-		return Task{}, err
+		c.counters.Counter("task_denied_round").Inc()
+		return Task{}, ErrNoTask
 	}
 	c.counters.Counter("task_assigned").Inc()
 	dec := c.negotiate(info, q.Accept)
@@ -391,9 +441,9 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 	}
 	t := Task{
 		RoundID:      r.ID,
-		BaseVersion:  r.BaseVersion,
+		BaseVersion:  bs.version, // == r.BaseVersion: the pair swaps together
 		ModelKind:    c.cfg.ModelKind,
-		Dim:          len(c.published),
+		Dim:          len(bs.published),
 		TaskScheme:   dec.Policy.Task,
 		Cohort:       dec.Cohort,
 		UpdateScheme: dec.Policy.Update,
@@ -403,14 +453,13 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 	if c.cfg.OmitParams {
 		return t, nil
 	}
-	t.Params = c.published
+	t.Params = bs.published
 	if !q.Binary {
 		// JSON clients take Params through the per-version JSON cache;
 		// don't pay a blob encode they will never read.
 		return t, nil
 	}
-	version := int(c.version.Load())
-	if q.BaseVersion > 0 && q.BaseVersion <= version && c.cfg.Transport.DeltaHistory > 0 {
+	if q.BaseVersion > 0 && q.BaseVersion <= bs.version && c.cfg.Transport.DeltaHistory > 0 {
 		// An up-to-date device gets a one-entry sparse "no change" frame
 		// (~30 bytes) — but only when it can decode topk; a constrained
 		// client keeps its negotiated delta scheme, never one outside
@@ -419,17 +468,23 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 		if acceptsKind(q.Accept, info.Accept, codec.KindTopK) {
 			noChange = codec.TopK(1)
 		}
-		if blob, ok := c.deltaBlobLocked(q.BaseVersion, dec.Policy.Delta, noChange); ok {
+		if blob, cached, ok := bs.deltaBlob(q.BaseVersion, dec.Policy.Delta, noChange); ok {
+			if cached {
+				c.counters.Counter("delta_cache_hits").Inc()
+			} else {
+				c.counters.Counter("delta_cache_misses").Inc()
+			}
 			t.EncodedParams = blob
 			t.TaskScheme = dec.Policy.Delta
 			t.DeltaBase = q.BaseVersion
+			c.reg.NoteDelivered(deviceID, bs.version)
 			return t, nil
 		}
 		// The base aged out of the ring (or negotiation disabled
 		// deltas): fall back to the full broadcast.
 		c.counters.Counter("delta_base_aged").Inc()
 	}
-	blob, err := c.fullBlobLocked(dec.Policy.Task)
+	blob, err := bs.fullBlob(dec.Policy.Task)
 	if err != nil {
 		// Encoding the broadcast failed (cannot happen for validated
 		// schemes and in-range models, but the task would be useless):
@@ -439,21 +494,8 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 		return Task{}, err
 	}
 	t.EncodedParams = blob
+	c.reg.NoteDelivered(deviceID, bs.version)
 	return t, nil
-}
-
-// fullBlobLocked returns the current published vector encoded under s,
-// paying the encode once per (version, scheme). Callers hold c.mu.
-func (c *Coordinator) fullBlobLocked(s codec.Scheme) ([]byte, error) {
-	if blob, ok := c.blobs[s]; ok {
-		return blob, nil
-	}
-	blob, err := codec.Encode(c.published, s)
-	if err != nil {
-		return nil, err
-	}
-	c.blobs[s] = blob
-	return blob, nil
 }
 
 // acceptsKind reports whether the effective capability list — the
@@ -475,43 +517,6 @@ func acceptsKind(override, advertised []codec.Kind, k codec.Kind) bool {
 	return false
 }
 
-// deltaBlobLocked returns the delta frame base→current under s, encoding
-// and caching it per (base, scheme) on first use. A base equal to the
-// current version is encoded under noChange instead (the caller picks the
-// cheapest scheme the device can decode for an all-zero diff). ok is
-// false when the base is no longer in the version ring. Callers hold
-// c.mu.
-func (c *Coordinator) deltaBlobLocked(base int, s, noChange codec.Scheme) ([]byte, bool) {
-	if base == int(c.version.Load()) {
-		s = noChange
-	}
-	key := deltaKey{base: base, scheme: s}
-	if blob, ok := c.deltas[key]; ok {
-		c.counters.Counter("delta_cache_hits").Inc()
-		return blob, true
-	}
-	var baseParams tensor.Vector
-	found := false
-	for _, e := range c.ring {
-		if e.version == base {
-			baseParams, found = e.params, true
-			break
-		}
-	}
-	if !found || len(baseParams) != len(c.published) {
-		return nil, false
-	}
-	diff := c.published.Clone()
-	diff.Sub(baseParams)
-	blob, err := codec.EncodeDelta(diff, s)
-	if err != nil {
-		return nil, false
-	}
-	c.counters.Counter("delta_cache_misses").Inc()
-	c.deltas[key] = blob
-	return blob, true
-}
-
 // SubmitUpdate validates a device update and enqueues it for the ingest
 // worker. A full queue returns ErrBusy (the load-shedding contract: devices
 // retry with backoff rather than stalling the server).
@@ -519,9 +524,9 @@ func (c *Coordinator) SubmitUpdate(sub Submission) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
-	if want := c.global.NumParams(); len(sub.Delta) != want {
+	if len(sub.Delta) != c.dim {
 		c.counters.Counter("update_rejected_dim").Inc()
-		return fmt.Errorf("coord: update from device %d has %d params, want %d", sub.DeviceID, len(sub.Delta), want)
+		return fmt.Errorf("coord: update from device %d has %d params, want %d", sub.DeviceID, len(sub.Delta), c.dim)
 	}
 	// One NaN/Inf element would propagate through aggregation and
 	// permanently poison the published model; the binary wire format can
@@ -555,7 +560,7 @@ func allFinite(v tensor.Vector) bool {
 // ingestLoop is the single consumer of the update queue: it owns round
 // mutation, aggregation, and publishing, so those never race.
 func (c *Coordinator) ingestLoop() {
-	defer c.wg.Done()
+	defer c.loopWG.Done()
 	for {
 		select {
 		case <-c.done:
@@ -570,7 +575,7 @@ func (c *Coordinator) ingestLoop() {
 // periodically garbage-collects departed devices so a long-running server's
 // registry doesn't grow without bound.
 func (c *Coordinator) watchdog() {
-	defer c.wg.Done()
+	defer c.loopWG.Done()
 	period := c.cfg.RoundDeadline / 10
 	if period > 250*time.Millisecond {
 		period = 250 * time.Millisecond
@@ -597,12 +602,30 @@ func (c *Coordinator) watchdog() {
 	}
 }
 
-// apply folds one submission into the current round and triggers
-// aggregation when the round becomes ready.
+// persistLoop is the write-behind worker: it flushes committed versions
+// to the store's backing directory and prunes aged ones, off the commit
+// pipeline's critical path. It drains its queue on shutdown.
+func (c *Coordinator) persistLoop() {
+	defer c.persistWG.Done()
+	for req := range c.persist {
+		if err := c.store.Persist(c.cfg.ModelName, req.version); err != nil {
+			c.counters.Counter("persist_error").Inc()
+		}
+		if req.prune >= 1 {
+			// Versions are sequential, so pruning v-Keep on every commit
+			// retains exactly the newest KeepVersions snapshots.
+			if c.store.Delete(c.cfg.ModelName, req.prune) == nil {
+				c.counters.Counter("versions_pruned").Inc()
+			}
+		}
+		c.counters.Counter("publish_pending").Add(-1)
+	}
+}
+
+// apply folds one submission into the current round and triggers the
+// commit pipeline when the round becomes ready.
 func (c *Coordinator) apply(sub Submission) {
 	now := c.cfg.Clock()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	// Each handed-out task is good for exactly one submission: consuming
 	// the assignment here rejects duplicates (client retries after a
 	// timed-out response) and unsolicited updates, either of which would
@@ -610,23 +633,6 @@ func (c *Coordinator) apply(sub Submission) {
 	assignedTo, held := c.reg.ConsumeAssignment(sub.DeviceID)
 	if !held {
 		c.counters.Counter("update_rejected_unassigned").Inc()
-		return
-	}
-	r := c.round
-	version := int(c.version.Load())
-	staleness := version - sub.BaseVersion
-	if staleness < 0 {
-		c.counters.Counter("update_rejected_future").Inc()
-		return
-	}
-	if c.cfg.Mode == ModeSync {
-		// Sync rounds only accept their own cohort's updates.
-		if assignedTo != r.ID || sub.RoundID != r.ID || sub.BaseVersion != r.BaseVersion {
-			c.counters.Counter("update_rejected_late").Inc()
-			return
-		}
-	} else if c.cfg.MaxStaleness > 0 && staleness > c.cfg.MaxStaleness {
-		c.counters.Counter("update_rejected_stale").Inc()
 		return
 	}
 	weight := sub.Weight
@@ -637,51 +643,114 @@ func (c *Coordinator) apply(sub Submission) {
 			weight = info.Weight
 		}
 	}
-	u := aggregator.Update{
-		ClientID:  sub.DeviceID,
-		Delta:     sub.Delta,
-		Weight:    weight,
-		Staleness: staleness,
-	}
-	if err := r.recordUpdate(u); err != nil {
-		c.counters.Counter("update_rejected_late").Inc()
+	// Fold into the current round, retrying once if a watchdog-triggered
+	// commit swaps the round between the load and the record (in async
+	// mode the update is a legitimate carry-over for the successor).
+	// Staleness is recomputed per attempt: landing after a concurrent
+	// commit means one more generation has passed, and both the
+	// MaxStaleness bound and FedBuff's discount must see it.
+	for attempt := 0; ; attempt++ {
+		r := c.serving.Load().round
+		version := int(c.version.Load())
+		staleness := version - sub.BaseVersion
+		if staleness < 0 {
+			c.counters.Counter("update_rejected_future").Inc()
+			return
+		}
+		if c.cfg.Mode == ModeAsync && c.cfg.MaxStaleness > 0 && staleness > c.cfg.MaxStaleness {
+			c.counters.Counter("update_rejected_stale").Inc()
+			return
+		}
+		u := aggregator.Update{
+			ClientID:  sub.DeviceID,
+			Delta:     sub.Delta,
+			Weight:    weight,
+			Staleness: staleness,
+		}
+		if c.cfg.Mode == ModeSync {
+			// Sync rounds only accept their own cohort's updates.
+			if assignedTo != r.ID || sub.RoundID != r.ID || sub.BaseVersion != r.BaseVersion {
+				c.counters.Counter("update_rejected_late").Inc()
+				return
+			}
+		}
+		if err := r.recordUpdate(u); err != nil {
+			if attempt == 0 {
+				// The round is mid-pipeline (aggregating) or already
+				// terminal. Only the commit pipeline holds mu, so a
+				// lock/unlock pair waits out any in-flight commit; after
+				// it the serving pointer names the successor round and
+				// the carry-over can land there — the behavior the old
+				// blocking ingest path had.
+				c.mu.Lock()
+				c.mu.Unlock()
+				continue
+			}
+			c.counters.Counter("update_rejected_late").Inc()
+			return
+		}
+		c.counters.Counter("update_accepted").Inc()
+		if r.ready(now) {
+			c.mu.Lock()
+			c.commitLocked(r, now)
+			c.mu.Unlock()
+		}
 		return
-	}
-	c.counters.Counter("update_accepted").Inc()
-	if r.ready(now) {
-		c.commitLocked(now)
 	}
 }
 
 // checkDeadline aggregates a quorum-complete round or abandons a starved
-// one once its deadline passes.
+// one once its deadline passes. The fast path is a single atomic load: an
+// idle server's watchdog tick takes no locks at all.
 func (c *Coordinator) checkDeadline() {
 	now := c.cfg.Clock()
+	if now.UnixNano() < c.deadlineNS.Load() {
+		// Mid-collection and far from the deadline; target-count commits
+		// are the ingest worker's job, so there is nothing to do here.
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	r := c.serving.Load().round
 	switch {
-	case c.round.ready(now):
-		c.commitLocked(now)
-	case c.round.expired(now):
-		c.abandonLocked(now)
+	case r.ready(now):
+		c.commitLocked(r, now)
+	case r.expired(now):
+		c.abandonLocked(r, now)
 	}
 }
 
-// commitLocked aggregates the round's updates into the global model,
-// publishes the new version, and opens the next round.
-func (c *Coordinator) commitLocked(now time.Time) {
-	r := c.round
-	if err := r.advance(PhaseAggregating); err != nil {
+// commitLocked runs the staged commit pipeline for round r. Callers hold
+// mu; r must have been loaded from the serving pointer.
+//
+// Stage 1 aggregates the round's updates into the global model with the
+// sharded parallel reducer. Stage 2 builds the successor broadcast plane
+// off to the side: clones the published snapshot, pre-encodes the default
+// cohort's blob and the hot delta frames for the bases live devices hold,
+// and extends the version ring. Stage 3 inserts the serialized snapshot
+// into the store (in memory), swaps the serving pointer, and queues the
+// disk write to the write-behind worker — so the only I/O a commit waits
+// for is its own arithmetic.
+func (c *Coordinator) commitLocked(r *Round, now time.Time) {
+	sv := c.serving.Load()
+	if sv.round != r {
+		// A concurrent trigger (ingest vs watchdog) already committed or
+		// abandoned this round.
+		return
+	}
+	bs := sv.bcast
+	updates, ok := r.beginAggregate()
+	if !ok {
 		c.counters.Counter("round_fsm_error").Inc()
 		return
 	}
+	// Stage 1: parallel tree-reduction aggregation.
 	params := c.global.Params()
-	if err := c.strategy.Aggregate(params, r.updates); err != nil {
+	if err := c.strategy.Aggregate(params, updates); err != nil {
 		// Aggregation failure (dimension drift) dooms the cohort, not
-		// the server: drop the round and keep serving.
-		c.counters.Counter("round_aggregate_error").Inc()
-		_ = r.advance(PhaseAbandoned)
-		c.finishLocked(r, 0, now)
+		// the server: drop the round and keep serving. The strategy
+		// validates before mutating, so there is nothing to roll back.
+		c.abortCommitLocked(r, bs, nil, "round_aggregate_error", now)
 		return
 	}
 	// The ingress screen in SubmitUpdate only sees individual updates;
@@ -690,82 +759,153 @@ func (c *Coordinator) commitLocked(now time.Time) {
 	// params in place, so roll back to the last published snapshot
 	// (captured pre-aggregation) before dropping the round.
 	if !allFinite(params) {
-		copy(params, c.published)
-		c.counters.Counter("round_aggregate_nonfinite").Inc()
-		_ = r.advance(PhaseAbandoned)
-		c.finishLocked(r, 0, now)
+		c.abortCommitLocked(r, bs, params, "round_aggregate_nonfinite", now)
 		return
 	}
-	// Re-encode the default cohort's broadcast blob once here so the
-	// common /v1/task path never pays for encoding (other cohorts'
-	// schemes and delta frames fill their caches lazily). Failing to
-	// encode is a publish failure: devices could no longer fetch the
-	// version we'd be announcing. OmitParams servers never serve the
-	// blob, so they skip the encode entirely.
-	var blob []byte
-	if !c.cfg.OmitParams {
-		var err error
-		if blob, err = codec.Encode(c.global.Params(), c.cfg.Transport.Default.Task); err != nil {
-			c.counters.Counter("round_publish_error").Inc()
-			_ = r.advance(PhaseAbandoned)
-			c.finishLocked(r, 0, now)
-			return
-		}
-	}
-	v, err := c.store.Put(c.cfg.ModelName, c.global)
+	// Stage 2: build the successor broadcast plane. A failure here (or in
+	// stage 3's serialize/insert) is a publish failure: devices could not
+	// fetch the version we would be announcing, so roll the aggregation
+	// back and drop the round.
+	v := bs.version + 1
+	next, err := c.buildBroadcast(bs, v, now)
 	if err != nil {
-		c.counters.Counter("round_publish_error").Inc()
-		_ = r.advance(PhaseAbandoned)
-		c.finishLocked(r, 0, now)
+		c.abortCommitLocked(r, bs, params, "round_publish_error", now)
 		return
 	}
-	if err := r.advance(PhaseCommitted); err != nil {
+	// Stage 3: publish. The serialized snapshot lands in the store's
+	// memory before the serving swap (tasks must never reference a
+	// version the store cannot answer for); the disk write rides the
+	// write-behind queue.
+	var buf bytes.Buffer
+	if err := model.Save(c.global, &buf); err != nil {
+		c.abortCommitLocked(r, bs, params, "round_publish_error", now)
+		return
+	}
+	if err := c.store.PutAt(c.cfg.ModelName, v, buf.Bytes()); err != nil {
+		c.abortCommitLocked(r, bs, params, "round_publish_error", now)
+		return
+	}
+	if err := r.conclude(PhaseCommitted); err != nil {
 		c.counters.Counter("round_fsm_error").Inc()
-	}
-	if c.cfg.KeepVersions > 0 {
-		// Versions are sequential, so pruning v-Keep on every commit
-		// retains exactly the newest KeepVersions snapshots.
-		if old := v - c.cfg.KeepVersions; old >= 1 {
-			if c.store.Delete(c.cfg.ModelName, old) == nil {
-				c.counters.Counter("versions_pruned").Inc()
-			}
-		}
-	}
-	c.published = c.global.Params().Clone()
-	c.blobs = make(map[codec.Scheme][]byte)
-	c.deltas = make(map[deltaKey][]byte)
-	if !c.cfg.OmitParams {
-		c.blobs[c.cfg.Transport.Default.Task] = blob
-		if k := c.cfg.Transport.DeltaHistory; k > 0 {
-			// The ring shares the published snapshot (read-only); trim
-			// to the newest K entries so delta bases age out instead of
-			// accumulating a full model per commit forever.
-			c.ring = append(c.ring, ringEntry{version: v, params: c.published})
-			if len(c.ring) > k {
-				c.ring = append(c.ring[:0], c.ring[len(c.ring)-k:]...)
-			}
-		}
 	}
 	c.version.Store(int64(v))
 	c.counters.Counter("rounds_committed").Inc()
-	c.counters.Counter("updates_aggregated").Add(int64(len(r.updates)))
-	c.finishLocked(r, v, now)
+	c.counters.Counter("updates_aggregated").Add(int64(len(updates)))
+	c.finishLocked(r, v, next, now)
+	prune := 0
+	if c.cfg.KeepVersions > 0 {
+		if old := v - c.cfg.KeepVersions; old >= 1 {
+			prune = old
+		}
+	}
+	c.counters.Counter("publish_pending").Inc()
+	c.persist <- persistReq{version: v, prune: prune}
+}
+
+// abortCommitLocked is the commit pipeline's failure exit: it rolls the
+// in-place aggregation back to the published snapshot (when params is
+// non-nil — pass nil for failures that precede any mutation), counts the
+// failure, drops the round, and opens its successor on the unchanged
+// broadcast plane. Callers hold mu.
+func (c *Coordinator) abortCommitLocked(r *Round, bs *broadcastState, params tensor.Vector, counter string, now time.Time) {
+	if params != nil {
+		copy(params, bs.published)
+	}
+	c.counters.Counter(counter).Inc()
+	_ = r.conclude(PhaseAbandoned)
+	c.finishLocked(r, 0, bs, now)
+}
+
+// buildBroadcast assembles the broadcast plane for version v from the
+// freshly aggregated global params: the published clone, the extended
+// version ring, the default cohort's pre-encoded blob, and — using the
+// registry's per-device delivered-version tracking — pre-encoded delta
+// frames for the bases live devices actually hold, so the task storm
+// after the swap starts on warm caches.
+func (c *Coordinator) buildBroadcast(prev *broadcastState, v int, now time.Time) (*broadcastState, error) {
+	published := c.global.Params().Clone()
+	bs := newBroadcastState(v, published, nil)
+	if c.cfg.OmitParams {
+		return bs, nil
+	}
+	blob, err := codec.Encode(published, c.cfg.Transport.Default.Task)
+	if err != nil {
+		return nil, err
+	}
+	bs.setBlob(c.cfg.Transport.Default.Task, blob)
+	if k := c.cfg.Transport.DeltaHistory; k > 0 {
+		// The ring shares the published snapshots (read-only); keep the
+		// newest K entries so delta bases age out instead of accumulating
+		// a full model per commit forever.
+		ring := make([]ringEntry, 0, k)
+		if len(prev.ring) > 0 {
+			start := 0
+			if extra := len(prev.ring) + 1 - k; extra > 0 {
+				start = extra
+			}
+			ring = append(ring, prev.ring[start:]...)
+		}
+		bs.ring = append(ring, ringEntry{version: v, params: published})
+		c.preencodeDeltas(bs, now)
+	}
+	return bs, nil
+}
+
+// preencodeDeltas warms the new plane's delta cache with the frames the
+// fleet will request first: for every ring base some live device holds
+// (per the registry's delivered-version census), encode the base→v diff
+// under each cohort's delta scheme, in parallel across bases.
+func (c *Coordinator) preencodeDeltas(bs *broadcastState, now time.Time) {
+	held := c.reg.BaseVersions(now)
+	schemes := c.cfg.Transport.DeltaSchemes()
+	var wg sync.WaitGroup
+	for _, e := range bs.ring {
+		if e.version == bs.version || held[e.version] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(e ringEntry) {
+			defer wg.Done()
+			diff := bs.published.Clone()
+			diff.Sub(e.params)
+			for _, s := range schemes {
+				blob, err := codec.EncodeDelta(diff, s)
+				if err != nil {
+					continue // that base falls back to lazy/full serving
+				}
+				bs.setDelta(e.version, s, blob)
+				c.counters.Counter("delta_pre_encoded").Inc()
+			}
+		}(e)
+	}
+	wg.Wait()
 }
 
 // abandonLocked drops a starved round and opens a fresh one on the same
-// base version.
-func (c *Coordinator) abandonLocked(now time.Time) {
-	r := c.round
-	if err := r.advance(PhaseAbandoned); err != nil {
-		c.counters.Counter("round_fsm_error").Inc()
+// broadcast plane. Callers hold mu. The starvation predicate is
+// re-validated atomically with the terminal flip: the ingest worker does
+// not hold mu while accepting updates, so one may have reached quorum
+// since the caller's expiry check — that round commits instead of
+// dropping the accepted update.
+func (c *Coordinator) abandonLocked(r *Round, now time.Time) {
+	sv := c.serving.Load()
+	if sv.round != r {
+		return
+	}
+	if !r.expireIfStarved(now) {
+		if r.ready(now) {
+			c.commitLocked(r, now)
+		}
 		return
 	}
 	c.counters.Counter("rounds_abandoned").Inc()
-	c.finishLocked(r, 0, now)
+	c.finishLocked(r, 0, sv.bcast, now)
 }
 
-// finishLocked records the terminal round and opens its successor.
-func (c *Coordinator) finishLocked(r *Round, newVersion int, now time.Time) {
+// finishLocked records the terminal round and swaps in its successor on
+// broadcast plane bs (the fresh plane after a commit, the unchanged one
+// after an abandonment). Callers hold mu.
+func (c *Coordinator) finishLocked(r *Round, newVersion int, bs *broadcastState, now time.Time) {
 	if c.cfg.Mode == ModeSync {
 		// A terminal sync round voids its outstanding tasks — idle
 		// exactly the devices it assigned (not an O(fleet) scan). In
@@ -773,36 +913,32 @@ func (c *Coordinator) finishLocked(r *Round, newVersion int, now time.Time) {
 		// updates are still welcome, and the assignment is consumed
 		// on submission (or overwritten when the device asks for new
 		// work).
-		for _, id := range r.assignedIDs {
+		for _, id := range r.takeAssigned() {
 			c.reg.ReleaseIf(id, r.ID)
 		}
 	}
-	c.history = append(c.history, r.summary(newVersion, now))
+	summary := r.summary(newVersion, now)
+	c.historyMu.Lock()
+	c.history = append(c.history, summary)
 	if len(c.history) > c.cfg.HistoryLimit {
 		c.history = c.history[len(c.history)-c.cfg.HistoryLimit:]
 	}
-	c.round = c.newRoundLocked(r.ID+1, int(c.version.Load()), now)
-	c.roundID.Store(r.ID + 1)
+	c.historyMu.Unlock()
+	next := c.newRound(r.ID+1, bs, now)
+	c.serving.Store(&serving{round: next, bcast: bs})
+	c.roundID.Store(next.ID)
+	c.deadlineNS.Store(next.Deadline.UnixNano())
 }
 
 // Status reports the coordinator's full serving state (O(fleet): it scans
-// the registry, so it belongs on dashboards, not hot paths).
+// the registry, so it belongs on dashboards, not hot paths). Like the
+// task path it shares no mutex with the commit pipeline.
 func (c *Coordinator) Status() StatusReport {
 	now := c.cfg.Clock()
 	census := c.reg.Census(c.cfg.Criteria, now)
-	c.mu.Lock()
-	r := c.round
-	rs := RoundStatus{
-		ID:        r.ID,
-		Phase:     r.Phase(),
-		Base:      r.BaseVersion,
-		Assigned:  r.Assigned(),
-		Collected: r.Collected(),
-		Target:    r.Target,
-		Quorum:    r.Quorum,
-		Deadline:  r.Deadline,
-	}
+	rs := c.serving.Load().round.status()
 	recent := make([]RoundSummary, 0, 8)
+	c.historyMu.Lock()
 	if n := len(c.history); n > 0 {
 		lo := n - 8
 		if lo < 0 {
@@ -810,7 +946,7 @@ func (c *Coordinator) Status() StatusReport {
 		}
 		recent = append(recent, c.history[lo:]...)
 	}
-	c.mu.Unlock()
+	c.historyMu.Unlock()
 	return StatusReport{
 		Mode:      c.cfg.Mode,
 		ModelKind: c.cfg.ModelKind,

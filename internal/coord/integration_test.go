@@ -819,10 +819,14 @@ func TestFleetTransportMix(t *testing.T) {
 			srv := httptest.NewServer(NewServer(c))
 			defer srv.Close()
 
+			// Rounds must exceed Devices/TargetUpdates (= 5): the fast
+			// commit pipeline can otherwise finish every round from
+			// devices' *first* task fetches alone, and delta frames only
+			// flow on a device's second fetch (when it holds a base).
 			rep, err := RunFleet(FleetConfig{
 				BaseURL:        srv.URL,
 				Devices:        60,
-				Rounds:         4,
+				Rounds:         8,
 				Seed:           23,
 				ThinkTime:      15 * time.Millisecond,
 				ComputeScale:   0.2,

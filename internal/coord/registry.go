@@ -50,6 +50,11 @@ type deviceState struct {
 	// assignedRound is the round the device currently holds a task for
 	// (0 = idle).
 	assignedRound uint64
+	// baseVersion is the published model version last delivered to the
+	// device (0 = never served params). The commit pipeline reads the
+	// distribution of these to pre-encode the delta frames the next task
+	// storm will actually ask for.
+	baseVersion int
 }
 
 // regShard is one lock stripe of the registry. Padding is omitted: shards
@@ -200,6 +205,37 @@ func (r *Registry) ReleaseIf(id int64, round uint64) {
 	if d, ok := s.devs[id]; ok && d.assignedRound == round {
 		d.assignedRound = 0
 	}
+}
+
+// NoteDelivered records the published version the device now holds (it
+// was just served that version's full blob, or a delta rebuilding it).
+// O(1), one shard lock; unknown devices are ignored.
+func (r *Registry) NoteDelivered(id int64, version int) {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.devs[id]; ok {
+		d.baseVersion = version
+	}
+}
+
+// BaseVersions counts live devices per last-delivered model version —
+// the commit pipeline's view of which delta bases the fleet actually
+// holds. O(fleet): it scans every shard, so it belongs in the commit
+// pipeline (once per publish), never on a serving path.
+func (r *Registry) BaseVersions(now time.Time) map[int]int {
+	out := make(map[int]int)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, d := range s.devs {
+			if d.baseVersion > 0 && r.live(d, now) {
+				out[d.baseVersion]++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 func (r *Registry) live(d *deviceState, now time.Time) bool {

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"flint/internal/aggregator"
@@ -37,8 +38,12 @@ var validNext = map[Phase][]Phase{
 func (p Phase) Terminal() bool { return p == PhaseCommitted || p == PhaseAbandoned }
 
 // Round is one unit of the training lifecycle: a sync FedAvg round or one
-// async FedBuff buffer generation. It is not internally synchronized — the
-// coordinator serializes access under its state lock.
+// async FedBuff buffer generation. It synchronizes its own mutable state
+// (phase, assignments, update buffer) under a private mutex whose critical
+// sections are all O(1): the task-serving path and the ingest worker touch
+// it concurrently, and the commit pipeline's only holds are the phase
+// flips at the edges of aggregation — never the O(K·dim) work between
+// them, so serving never stalls behind a commit.
 type Round struct {
 	// ID is a monotonically increasing round number (1-based).
 	ID uint64
@@ -55,6 +60,7 @@ type Round struct {
 	// Opened is when the round opened.
 	Opened time.Time
 
+	mu    sync.Mutex
 	phase Phase
 	// assignedIDs records which devices hold this round's task, so
 	// terminal cleanup releases exactly those instead of scanning the
@@ -79,16 +85,34 @@ func newRound(id uint64, baseVersion int, target, quorum, maxAssign int, opened 
 }
 
 // Phase returns the current lifecycle phase.
-func (r *Round) Phase() Phase { return r.phase }
+func (r *Round) Phase() Phase {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phase
+}
 
 // Assigned returns how many devices hold this round's task.
-func (r *Round) Assigned() int { return len(r.assignedIDs) }
+func (r *Round) Assigned() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.assignedIDs)
+}
 
 // Collected returns how many updates the round holds.
-func (r *Round) Collected() int { return len(r.updates) }
+func (r *Round) Collected() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.updates)
+}
 
 // advance moves the round to phase to, validating the transition.
 func (r *Round) advance(to Phase) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.advanceLocked(to)
+}
+
+func (r *Round) advanceLocked(to Phase) error {
 	for _, ok := range validNext[r.phase] {
 		if ok == to {
 			r.phase = to
@@ -98,8 +122,15 @@ func (r *Round) advance(to Phase) error {
 	return fmt.Errorf("coord: round %d: illegal transition %s → %s", r.ID, r.phase, to)
 }
 
-// assignable reports whether the round can hand out another task at now.
+// assignable reports whether the round can hand out another task at now —
+// the task path's cheap pre-check; tryAssign re-validates atomically.
 func (r *Round) assignable(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.assignableLocked(now)
+}
+
+func (r *Round) assignableLocked(now time.Time) bool {
 	switch r.phase {
 	case PhaseOpen, PhaseAssigning, PhaseCollecting:
 	default:
@@ -108,29 +139,39 @@ func (r *Round) assignable(now time.Time) bool {
 	return len(r.assignedIDs) < r.MaxAssign && now.Before(r.Deadline)
 }
 
-// recordAssignment counts one handed-out task, advancing open → assigning on
-// the first.
-func (r *Round) recordAssignment(deviceID int64) error {
+// tryAssign atomically checks the budget, phase, and deadline and records
+// one handed-out task, advancing open → assigning on the first. It
+// returns false when the round cannot hand out a task (full, terminal, or
+// past deadline) — concurrent requesters race fairly on the budget here,
+// with no coordinator-wide lock.
+func (r *Round) tryAssign(deviceID int64, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.assignableLocked(now) {
+		return false
+	}
 	if r.phase == PhaseOpen {
-		if err := r.advance(PhaseAssigning); err != nil {
-			return err
+		if err := r.advanceLocked(PhaseAssigning); err != nil {
+			return false
 		}
 	}
 	r.assignedIDs = append(r.assignedIDs, deviceID)
-	return nil
+	return true
 }
 
-// accepting reports whether the round can ingest an update. PhaseOpen
+// acceptingLocked reports whether the round can ingest an update. PhaseOpen
 // qualifies because async buffers accept carry-over updates from devices
 // assigned in a previous generation before anyone joins the new one.
-func (r *Round) accepting() bool {
+func (r *Round) acceptingLocked() bool {
 	return r.phase == PhaseOpen || r.phase == PhaseAssigning || r.phase == PhaseCollecting
 }
 
 // recordUpdate buffers one device update, walking the lifecycle forward to
 // collecting. The caller has already validated round ID and staleness.
 func (r *Round) recordUpdate(u aggregator.Update) error {
-	if !r.accepting() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.acceptingLocked() {
 		return fmt.Errorf("coord: round %d not accepting updates in phase %s", r.ID, r.phase)
 	}
 	for r.phase != PhaseCollecting {
@@ -138,7 +179,7 @@ func (r *Round) recordUpdate(u aggregator.Update) error {
 		if r.phase == PhaseAssigning {
 			next = PhaseCollecting
 		}
-		if err := r.advance(next); err != nil {
+		if err := r.advanceLocked(next); err != nil {
 			return err
 		}
 	}
@@ -149,7 +190,9 @@ func (r *Round) recordUpdate(u aggregator.Update) error {
 // ready reports whether the round should aggregate now: it reached its
 // target, or its deadline passed with quorum met.
 func (r *Round) ready(now time.Time) bool {
-	if !r.accepting() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.acceptingLocked() {
 		return false
 	}
 	if len(r.updates) >= r.Target {
@@ -161,7 +204,69 @@ func (r *Round) ready(now time.Time) bool {
 // expired reports whether the deadline passed below quorum, dooming the
 // round.
 func (r *Round) expired(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return !r.phase.Terminal() && !now.Before(r.Deadline) && len(r.updates) < r.Quorum
+}
+
+// beginAggregate flips the round into PhaseAggregating and hands the
+// caller its update buffer. After the flip no new update can land (and no
+// new assignment succeeds), so the returned slice is stable without
+// holding any lock through the aggregation itself. ok is false when the
+// transition is illegal — e.g. a second committer raced here first.
+func (r *Round) beginAggregate() (updates []aggregator.Update, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.advanceLocked(PhaseAggregating); err != nil {
+		return nil, false
+	}
+	return r.updates, true
+}
+
+// conclude moves the round to its terminal phase (committed/abandoned).
+func (r *Round) conclude(to Phase) error { return r.advance(to) }
+
+// expireIfStarved atomically re-checks the starvation predicate (deadline
+// passed, below quorum) and concludes the round abandoned when it still
+// holds. The recheck and the terminal flip share one critical section, so
+// an update that reached quorum between an unlocked expiry check and this
+// call can never be silently dropped by the abandonment — the caller sees
+// false and commits instead.
+func (r *Round) expireIfStarved(now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.phase.Terminal() || now.Before(r.Deadline) || len(r.updates) >= r.Quorum {
+		return false
+	}
+	return r.advanceLocked(PhaseAbandoned) == nil
+}
+
+// takeAssigned returns a copy of the device IDs holding this round's
+// task, for terminal cleanup (copied so the registry release loop runs
+// without the round lock).
+func (r *Round) takeAssigned() []int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int64, len(r.assignedIDs))
+	copy(out, r.assignedIDs)
+	return out
+}
+
+// status snapshots the externally visible round state in one critical
+// section (for /v1/status, which must not observe torn counts).
+func (r *Round) status() RoundStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RoundStatus{
+		ID:        r.ID,
+		Phase:     r.phase,
+		Base:      r.BaseVersion,
+		Assigned:  len(r.assignedIDs),
+		Collected: len(r.updates),
+		Target:    r.Target,
+		Quorum:    r.Quorum,
+		Deadline:  r.Deadline,
+	}
 }
 
 // RoundSummary is the retained record of a finished round.
@@ -176,6 +281,8 @@ type RoundSummary struct {
 }
 
 func (r *Round) summary(newVersion int, now time.Time) RoundSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return RoundSummary{
 		ID:          r.ID,
 		Phase:       r.phase,

@@ -26,8 +26,8 @@ func TestRoundLifecycleHappyPath(t *testing.T) {
 	if !r.assignable(now) {
 		t.Fatal("fresh round should be assignable")
 	}
-	if err := r.recordAssignment(1); err != nil {
-		t.Fatal(err)
+	if !r.tryAssign(1, now) {
+		t.Fatal("assignable round refused an assignment")
 	}
 	if r.Phase() != PhaseAssigning {
 		t.Fatalf("after first assignment phase = %s, want assigning", r.Phase())
@@ -134,14 +134,58 @@ func TestRoundAssignmentBudget(t *testing.T) {
 		if !r.assignable(now) {
 			t.Fatalf("round should be assignable at %d/%d", r.Assigned(), r.MaxAssign)
 		}
-		if err := r.recordAssignment(int64(i + 1)); err != nil {
-			t.Fatal(err)
+		if !r.tryAssign(int64(i+1), now) {
+			t.Fatalf("assignment %d refused within budget", i+1)
 		}
 	}
 	if r.assignable(now) {
 		t.Fatal("round past MaxAssign should not be assignable")
 	}
-	if r.assignable(r.Deadline) {
-		t.Fatal("round at deadline should not be assignable")
+	if r.tryAssign(3, now) {
+		t.Fatal("round past MaxAssign accepted an assignment")
+	}
+	if r.tryAssign(3, r.Deadline) {
+		t.Fatal("round at deadline accepted an assignment")
+	}
+}
+
+func TestRoundExpireIfStarvedRecheck(t *testing.T) {
+	r := testRound(4, 2, 8)
+	after := r.Deadline.Add(time.Second)
+
+	// Before the deadline nothing expires, regardless of updates.
+	if r.expireIfStarved(r.Opened) {
+		t.Fatal("round expired before its deadline")
+	}
+	// At quorum the abandonment must refuse — the caller commits instead
+	// (this is the recheck that protects an update accepted between the
+	// watchdog's unlocked expiry check and the terminal flip).
+	if err := r.recordUpdate(upd(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.recordUpdate(upd(2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.expireIfStarved(after) {
+		t.Fatal("quorum-complete round was abandoned")
+	}
+	if r.Phase() != PhaseCollecting {
+		t.Fatalf("refused expiry mutated phase to %s", r.Phase())
+	}
+
+	// Below quorum past the deadline it concludes atomically.
+	starved := testRound(4, 2, 8)
+	if err := starved.recordUpdate(upd(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !starved.expireIfStarved(after) {
+		t.Fatal("starved round did not expire")
+	}
+	if starved.Phase() != PhaseAbandoned {
+		t.Fatalf("expired round phase = %s", starved.Phase())
+	}
+	// Terminal rounds report false, not a second abandonment.
+	if starved.expireIfStarved(after) {
+		t.Fatal("terminal round expired twice")
 	}
 }

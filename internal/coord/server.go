@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -321,7 +320,7 @@ func (s *Server) paramsJSON(t Task) json.RawMessage {
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var sub Submission
 	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeTensor) {
-		parsed, err := s.binarySubmission(r)
+		parsed, err := s.binarySubmission(w, r)
 		if errors.Is(err, errBodyTooLarge) {
 			s.c.counters.Counter("update_rejected_oversize").Inc()
 			writeError(w, http.StatusRequestEntityTooLarge, err)
@@ -375,9 +374,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 // binarySubmission parses a binary /v1/update: metadata from X-Flint-*
-// headers, the delta from a codec blob body (any scheme — the header's
-// declared dimension is checked before the decode allocation).
-func (s *Server) binarySubmission(r *http.Request) (Submission, error) {
+// headers, the delta decoded from the body as a stream — the 16-byte
+// codec header is read and validated (scheme, declared dimension against
+// the model) before the payload is pulled into a pooled buffer of exactly
+// the payload size, so the server never holds more than one in-flight
+// body copy per device and an oversize or wrong-shaped body dies before
+// it is buffered.
+func (s *Server) binarySubmission(w http.ResponseWriter, r *http.Request) (Submission, error) {
 	id, err := strconv.ParseInt(r.Header.Get(hdrDevice), 10, 64)
 	if err != nil {
 		return Submission{}, fmt.Errorf("bad %s header: %w", hdrDevice, err)
@@ -396,26 +399,36 @@ func (s *Server) binarySubmission(r *http.Request) (Submission, error) {
 			return Submission{}, fmt.Errorf("bad %s header: %w", hdrWeight, err)
 		}
 	}
-	// Read one byte past the limit so an at-limit body is distinguishable
-	// from an oversize one: the old plain LimitReader silently truncated
-	// huge bodies and let the codec report a misleading length mismatch.
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxUpdateBody+1))
-	if err != nil {
-		return Submission{}, fmt.Errorf("read update body: %w", err)
-	}
-	if len(body) > maxUpdateBody {
+	// A declared oversize body is refused before a single byte is read;
+	// an undeclared (chunked) one dies at the MaxBytesReader budget
+	// mid-stream. Either way nothing near maxUpdateBody is ever buffered.
+	// The budget carries one slack byte so the trailing-byte probe below
+	// can tell an exactly-at-limit clean frame (EOF) from a body that
+	// extends past the limit (MaxBytesError) — a validated frame's size
+	// is bounded by the model dim, far under the limit, so the slack is
+	// never spendable on payload.
+	if r.ContentLength > maxUpdateBody {
 		return Submission{}, errBodyTooLarge
 	}
-	dim, _, err := codec.Header(body)
+	body := http.MaxBytesReader(w, r.Body, maxUpdateBody+1)
+	delta, _, err := codec.DecodeFrom(body, s.c.dim)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return Submission{}, errBodyTooLarge
+		}
 		return Submission{}, fmt.Errorf("bad tensor body: %w", err)
 	}
-	if want := s.c.global.NumParams(); dim != want {
-		return Submission{}, fmt.Errorf("update declares %d params, want %d", dim, want)
-	}
-	delta, _, err := codec.Decode(body)
-	if err != nil {
-		return Submission{}, fmt.Errorf("bad tensor body: %w", err)
+	// Exactly one frame per update: trailing bytes mean a confused (or
+	// hostile) client, not extra tolerance.
+	var trail [1]byte
+	n, rerr := body.Read(trail[:])
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(rerr, &tooBig):
+		return Submission{}, errBodyTooLarge
+	case n != 0:
+		return Submission{}, fmt.Errorf("bad tensor body: trailing bytes after frame")
 	}
 	return Submission{
 		DeviceID:    id,

@@ -68,6 +68,55 @@ func (s *Store) Put(name string, m model.Model) (int, error) {
 	return v, nil
 }
 
+// PutAt inserts pre-serialized snapshot bytes at an explicit version,
+// in memory only: write-behind publishers number versions themselves,
+// insert synchronously so readers see the version immediately, and call
+// Persist from a background worker so the serving path never waits on
+// disk. Re-inserting an existing version is an error (it would mean two
+// publishers disagree about version numbering).
+func (s *Store) PutAt(name string, version int, raw []byte) error {
+	if name == "" {
+		return fmt.Errorf("modelstore: empty model name")
+	}
+	if version <= 0 {
+		return fmt.Errorf("modelstore: version %d must be positive", version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.blob[name] == nil {
+		s.blob[name] = make(map[int][]byte)
+	}
+	if _, ok := s.blob[name][version]; ok {
+		return fmt.Errorf("modelstore: %s v%d already stored", name, version)
+	}
+	s.blob[name][version] = raw
+	if version > s.next[name] {
+		s.next[name] = version
+	}
+	return nil
+}
+
+// Persist writes a stored version's bytes to the backing directory — the
+// write-behind half of PutAt. It is a no-op for a memory-only store and
+// an error for a version the store does not hold.
+func (s *Store) Persist(name string, version int) error {
+	s.mu.RLock()
+	raw, ok := s.blob[name][version]
+	dir := s.dir
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("modelstore: %s v%d not found", name, version)
+	}
+	if dir == "" {
+		return nil
+	}
+	path := snapshotPath(dir, name, version)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("modelstore: persist %s: %w", path, err)
+	}
+	return nil
+}
+
 // snapshotPath names a persisted version: .fct, the flint checkpoint
 // tensor extension.
 func snapshotPath(dir, name string, v int) string {

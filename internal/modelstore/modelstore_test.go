@@ -96,6 +96,77 @@ func TestPersistence(t *testing.T) {
 	}
 }
 
+func TestPutAtAndPersist(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := model.New(model.KindA, 5)
+	var buf bytes.Buffer
+	if err := model.Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// PutAt is memory-only: readers see the version, the disk does not.
+	if err := s.PutAt("wb", 1, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("wb", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params()[0] != m.Params()[0] {
+		t.Fatal("PutAt round-trip mismatch")
+	}
+	if _, v, err := s.Latest("wb"); err != nil || v != 1 {
+		t.Fatalf("Latest after PutAt = v%d, %v", v, err)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dir, "wb-v*.fct")); len(matches) != 0 {
+		t.Fatalf("PutAt touched disk: %v", matches)
+	}
+
+	// Persist is the write-behind half.
+	if err := s.Persist("wb", 1); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, "wb-v001.fct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := model.Load(bytes.NewReader(onDisk)); err != nil || restored.Params()[0] != m.Params()[0] {
+		t.Fatalf("persisted checkpoint mismatch (err %v)", err)
+	}
+
+	// Contract edges: duplicate versions, bad versions, unknown persist.
+	if err := s.PutAt("wb", 1, buf.Bytes()); err == nil {
+		t.Fatal("duplicate PutAt must fail")
+	}
+	if err := s.PutAt("wb", 0, buf.Bytes()); err == nil {
+		t.Fatal("non-positive version must fail")
+	}
+	if err := s.PutAt("", 2, buf.Bytes()); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := s.Persist("wb", 9); err == nil {
+		t.Fatal("persisting a missing version must fail")
+	}
+
+	// A memory-only store persists as a no-op.
+	mem, _ := New("")
+	if err := mem.PutAt("wb", 3, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Persist("wb", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Put after PutAt continues the numbering past the explicit version.
+	if v, err := s.Put("wb", m); err != nil || v != 2 {
+		t.Fatalf("Put after PutAt = v%d, %v", v, err)
+	}
+}
+
 func TestVersionsAndNames(t *testing.T) {
 	s, _ := New("")
 	m, _ := model.New(model.KindA, 1)

@@ -115,6 +115,18 @@ func (c Config) WithDefaults() (Config, error) {
 	return c, nil
 }
 
+// DeltaSchemes lists the distinct delta-broadcast encodings the cohort
+// policies can assign — what a coordinator pre-encoding hot delta frames
+// at commit time must cover so every cohort's first request hits a warm
+// cache.
+func (c Config) DeltaSchemes() []codec.Scheme {
+	out := []codec.Scheme{c.Default.Delta}
+	if c.LowBW.Delta != c.Default.Delta {
+		out = append(out, c.LowBW.Delta)
+	}
+	return out
+}
+
 // Device is the client state negotiation sees: what the device reported
 // at check-in (or echoed on the request being served).
 type Device struct {

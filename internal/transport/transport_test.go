@@ -145,3 +145,23 @@ func TestAcceptRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestDeltaSchemes(t *testing.T) {
+	cfg, err := Config{}.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: q8 (default cohort) and topk (lowbw) are distinct.
+	got := cfg.DeltaSchemes()
+	if len(got) != 2 || got[0] != cfg.Default.Delta || got[1] != cfg.LowBW.Delta {
+		t.Fatalf("DeltaSchemes() = %v", got)
+	}
+	// Identical cohort deltas dedupe to one pre-encode target.
+	same := Config{
+		Default: Policy{Task: codec.F32, Update: codec.Q8, Delta: codec.Q8},
+		LowBW:   Policy{Task: codec.F32, Update: codec.Q8, Delta: codec.Q8},
+	}
+	if got := same.DeltaSchemes(); len(got) != 1 || got[0] != codec.Q8 {
+		t.Fatalf("deduped DeltaSchemes() = %v", got)
+	}
+}

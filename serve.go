@@ -1,8 +1,10 @@
 package flint
 
 import (
+	"io"
 	"net/http"
 
+	"flint/internal/aggregator"
 	"flint/internal/codec"
 	"flint/internal/coord"
 	"flint/internal/tensor"
@@ -121,4 +123,38 @@ func EncodeTensor(v []float64, s TensorScheme) ([]byte, error) {
 func DecodeTensor(b []byte) ([]float64, TensorScheme, error) {
 	v, s, err := codec.Decode(b)
 	return v, s, err
+}
+
+// DecodeTensorFrom reads exactly one framed codec blob from r and decodes
+// it, streaming: the 16-byte header is validated (including against
+// wantDim, when > 0) before the payload is buffered — into a pooled
+// scratch buffer of exactly the payload size — so a receiver never holds
+// more than one in-flight body copy. Bytes after the frame are left
+// unread in r.
+func DecodeTensorFrom(r io.Reader, wantDim int) ([]float64, TensorScheme, error) {
+	v, s, err := codec.DecodeFrom(r, wantDim)
+	return v, s, err
+}
+
+// Server-side aggregation strategies (internal/aggregator): the kernels
+// the coordinator's commit pipeline folds device updates with.
+type (
+	// AggregatorStrategy folds a batch of updates into the global
+	// parameter vector.
+	AggregatorStrategy = aggregator.Strategy
+	// AggregatorUpdate is one client's contribution to a round.
+	AggregatorUpdate = aggregator.Update
+	// ParallelAggregator shards a coordinate-separable strategy (FedAvg,
+	// FedBuff) across cores, bit-for-bit identical to the sequential
+	// fold; other strategies pass through unchanged.
+	ParallelAggregator = aggregator.Parallel
+)
+
+// FedAvgStrategy returns synchronous weighted federated averaging.
+func FedAvgStrategy() AggregatorStrategy { return aggregator.FedAvg{} }
+
+// FedBuffStrategy returns buffered asynchronous aggregation with
+// polynomial staleness discounting.
+func FedBuffStrategy(serverLR, alpha float64) AggregatorStrategy {
+	return aggregator.FedBuff{ServerLR: serverLR, Alpha: alpha}
 }
