@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"flint/internal/coord"
+	"flint/internal/network"
 )
 
 func main() {
@@ -32,10 +33,19 @@ func main() {
 	deltaScale := flag.Float64("delta-scale", 0.01, "synthetic update delta magnitude")
 	jsonFraction := flag.Float64("json-fraction", 0, "share of devices kept on the legacy JSON protocol (0 = all binary, 1 = all JSON)")
 	legacyFraction := flag.Float64("legacy-fraction", 0, "share of devices on pre-negotiation binary (full broadcast, no scheme advertisement)")
+	bandwidth := flag.Float64("bandwidth", 0, "simulate per-device links: median downlink Mbps (0 disables; uplink at 40%)")
+	churn := flag.Bool("churn", false, "drive availability from a generated diurnal session trace instead of an always-on loop")
+	traceScale := flag.Float64("trace-scale", 60, "churn: trace seconds replayed per wall second")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
 
+	var bw *network.BandwidthModel
+	if *bandwidth > 0 {
+		m := network.Default
+		m.MedianMbps = *bandwidth
+		bw = &m
+	}
 	rep, err := coord.RunFleet(coord.FleetConfig{
 		BaseURL:        *server,
 		Devices:        *devices,
@@ -46,6 +56,9 @@ func main() {
 		DeltaScale:     *deltaScale,
 		JSONFraction:   *jsonFraction,
 		LegacyFraction: *legacyFraction,
+		Bandwidth:      bw,
+		Churn:          *churn,
+		TraceScale:     *traceScale,
 		Timeout:        *timeout,
 	})
 	if rep != nil {
@@ -71,6 +84,17 @@ func main() {
 					float64(st.Counters["broadcast_bytes_delta"])/(1<<20),
 					st.Counters["delta_cache_hits"], st.Counters["delta_cache_misses"],
 					st.Counters["delta_base_aged"])
+				if sr := st.Scheduler; sr.Enabled {
+					fmt.Printf("  sched: %d/%d devices measured, %d remapped off their radio label; on-time %.0f%%, over-commit x%.2f, est task p50/p90/p99 %.2f/%.2f/%.2fs (%d deadline denials)\n",
+						sr.Measured, sr.Devices, sr.Remapped, sr.OnTimeFraction*100, sr.OverCommitScale,
+						sr.EstTaskP50Sec, sr.EstTaskP90Sec, sr.EstTaskP99Sec,
+						st.Counters["task_denied_deadline"])
+					for _, name := range []string{"default", "lowbw"} {
+						if cs := sr.Cohorts[name]; cs != nil {
+							fmt.Printf("  sched cohort %-7s %4d devices, bandwidth hist %v\n", name, cs.Devices, cs.BandwidthHist)
+						}
+					}
+				}
 			}
 		}
 	}

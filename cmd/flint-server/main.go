@@ -15,6 +15,7 @@ import (
 	"flint/internal/codec"
 	"flint/internal/coord"
 	"flint/internal/model"
+	"flint/internal/sched"
 	"flint/internal/transport"
 )
 
@@ -46,6 +47,12 @@ func main() {
 	lowbwUpdateScheme := flag.String("lowbw-update-scheme", "q8", "low-bandwidth cohort: /v1/update delta encoding")
 	lowbwDeltaScheme := flag.String("lowbw-delta-scheme", "topk", "low-bandwidth cohort: delta-broadcast encoding")
 	deltaHistory := flag.Int("delta-history", 8, "published versions retained as delta-broadcast bases (negative disables delta broadcast)")
+	schedOn := flag.Bool("sched", true, "enable the measured scheduling plane (bandwidth cohorts, deadline gate, dynamic over-commit)")
+	schedLowBWMbps := flag.Float64("sched-lowbw-mbps", 1.5, "measured downlink below this maps a device to the lowbw cohort")
+	schedAlpha := flag.Float64("sched-alpha", 0.3, "telemetry EWMA smoothing factor")
+	schedMaxOC := flag.Float64("sched-max-overcommit", 3, "cap on the deadline-driven sync assignment multiplier")
+	schedRebuild := flag.Duration("sched-rebuild", 2*time.Second, "scheduler fleet-view rebuild period")
+	persistBarrier := flag.Int("persist-barrier", 8, "fsync the write-behind snapshot every N commits (negative disables the barrier)")
 	storeDir := flag.String("store-dir", "", "persist published model versions to this directory")
 	keepVersions := flag.Int("keep-versions", 8, "published model versions to retain (negative keeps all)")
 	statusEvery := flag.Duration("status-every", 5*time.Second, "periodic status log interval (0 disables)")
@@ -98,6 +105,14 @@ func main() {
 		StalenessAlpha: *alpha,
 		LocalSteps:     *localSteps,
 		Transport:      transportCfg,
+		Sched: sched.Config{
+			Disable:       !*schedOn,
+			Alpha:         *schedAlpha,
+			LowBWBps:      *schedLowBWMbps * 1e6 / 8,
+			MaxOverCommit: *schedMaxOC,
+			RebuildEvery:  *schedRebuild,
+		},
+		PersistBarrier: *persistBarrier,
 		StoreDir:       *storeDir,
 		KeepVersions:   *keepVersions,
 	}
@@ -126,6 +141,12 @@ func main() {
 	fmt.Printf("wire: default cohort %s broadcast / %s uplink / %s delta; lowbw cohort %s / %s / %s; delta history %d\n",
 		tr.Default.Task, tr.Default.Update, tr.Default.Delta,
 		tr.LowBW.Task, tr.LowBW.Update, tr.LowBW.Delta, tr.DeltaHistory)
+	if sc := eff.Sched; !sc.Disable {
+		fmt.Printf("sched: lowbw < %.2f Mbps measured downlink, deadline gate (sync), over-commit ≤ %.1fx, rebuild every %s\n",
+			sc.LowBWBps*8/1e6, sc.MaxOverCommit, sc.RebuildEvery)
+	} else {
+		fmt.Println("sched: disabled (radio-label cohorts, static over-commit)")
+	}
 	fmt.Printf("listening on %s (POST /v1/checkin, GET /v1/task, POST /v1/update, GET /v1/status)\n", *addr)
 	log.Fatal(coord.NewServer(c).ListenAndServe(*addr))
 }

@@ -40,12 +40,45 @@ type broadcastState struct {
 	// deltas caches encoded delta frames from a ring base to `version`
 	// (deltaKey → []byte).
 	deltas sync.Map
+	// scratch recycles the transient diff vectors delta encoding needs
+	// (shared with the owning coordinator; nil falls back to allocating,
+	// for planes built bare in tests).
+	scratch *vecPool
 }
 
 // ringEntry is one retained published version.
 type ringEntry struct {
 	version int
 	params  tensor.Vector
+}
+
+// vecPool recycles full-dim work vectors for the transient delta-encode
+// diffs (commit-time pre-encoding and the lazy serving-path fill). The
+// commit pipeline is serialized under the coordinator mutex and lazy
+// fills are rare, so in steady state the pool double-buffers: the same
+// one or two vectors cycle forever instead of a fresh dim-sized
+// allocation per encoded frame. Retained snapshots (the published clone,
+// ring entries) must NOT come from here — pool vectors are overwritten on
+// reuse, and a retained one would tear under a concurrent reader.
+type vecPool struct {
+	dim  int
+	pool sync.Pool
+}
+
+func newVecPool(dim int) *vecPool {
+	p := &vecPool{dim: dim}
+	p.pool.New = func() any { return make(tensor.Vector, dim) }
+	return p
+}
+
+// get returns a dim-sized vector with undefined contents.
+func (p *vecPool) get() tensor.Vector { return p.pool.Get().(tensor.Vector) }
+
+// put returns a vector to the pool; the caller must not touch it after.
+func (p *vecPool) put(v tensor.Vector) {
+	if len(v) == p.dim {
+		p.pool.Put(v)
+	}
 }
 
 // deltaKey addresses one cached delta frame: the base it applies against
@@ -57,8 +90,8 @@ type deltaKey struct {
 }
 
 // newBroadcastState freezes a published snapshot into a broadcast plane.
-func newBroadcastState(version int, published tensor.Vector, ring []ringEntry) *broadcastState {
-	return &broadcastState{version: version, published: published, ring: ring}
+func newBroadcastState(version int, published tensor.Vector, ring []ringEntry, scratch *vecPool) *broadcastState {
+	return &broadcastState{version: version, published: published, ring: ring, scratch: scratch}
 }
 
 // setBlob pre-populates the full-broadcast cache (commit pipeline, before
@@ -114,7 +147,14 @@ func (bs *broadcastState) deltaBlob(base int, s, noChange codec.Scheme) (blob []
 	if !found || len(baseParams) != len(bs.published) {
 		return nil, false, false
 	}
-	diff := bs.published.Clone()
+	var diff tensor.Vector
+	if bs.scratch != nil && bs.scratch.dim == len(bs.published) {
+		diff = bs.scratch.get()
+		defer bs.scratch.put(diff)
+		copy(diff, bs.published)
+	} else {
+		diff = bs.published.Clone()
+	}
 	diff.Sub(baseParams)
 	encoded, err := codec.EncodeDelta(diff, s)
 	if err != nil {

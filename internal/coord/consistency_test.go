@@ -23,20 +23,23 @@ type groundTruth struct {
 	v  map[int]tensor.Vector
 }
 
-func (g *groundTruth) params(t *testing.T, version int) tensor.Vector {
-	t.Helper()
+// params returns the store's record of a published version. Errors are
+// returned, not Fatal-ed: callers run on hammer goroutines, and FailNow
+// must only be called from the test goroutine — failures travel the
+// errs channel like every other hammer error.
+func (g *groundTruth) params(version int) (tensor.Vector, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if p, ok := g.v[version]; ok {
-		return p
+		return p, nil
 	}
 	m, err := g.c.Store().Get(g.c.Config().ModelName, version)
 	if err != nil {
-		t.Fatalf("store has no v%d although a task referenced it: %v", version, err)
+		return nil, errf("store has no v%d although a task referenced it: %v", version, err)
 	}
 	p := m.Params()
 	g.v[version] = p
-	return p
+	return p, nil
 }
 
 // TestTaskSnapshotConsistencyUnderCommits is the broadcast plane's
@@ -96,7 +99,6 @@ func TestTaskSnapshotConsistencyUnderCommits(t *testing.T) {
 		go func(id int64) {
 			defer wg.Done()
 			c.CheckIn(info(id))
-			delta := tensor.NewVector(c.dim)
 			for {
 				select {
 				case <-stop:
@@ -107,6 +109,12 @@ func TestTaskSnapshotConsistencyUnderCommits(t *testing.T) {
 				if err != nil {
 					continue // commit in flight or assignment pending
 				}
+				// A fresh delta per submission: SubmitUpdate retains the
+				// slice until the round aggregates, and in async mode an
+				// earlier round's entry can still be buffered (carry-over)
+				// when this device is handed its next task — mutating a
+				// shared buffer here would race with that aggregation.
+				delta := tensor.NewVector(c.dim)
 				for j := range delta {
 					delta[j] = 1e-4 * float64(id%7+1) * float64(j%13+1)
 				}
@@ -146,7 +154,11 @@ func TestTaskSnapshotConsistencyUnderCommits(t *testing.T) {
 				if err != nil {
 					continue
 				}
-				want := truth.params(t, task.BaseVersion)
+				want, err := truth.params(task.BaseVersion)
+				if err != nil {
+					errs <- err
+					return
+				}
 				// The shared Params slice must be the published snapshot
 				// of exactly the version the task names.
 				if len(task.Params) != len(want) {
@@ -166,7 +178,11 @@ func TestTaskSnapshotConsistencyUnderCommits(t *testing.T) {
 						errs <- errf("task v%d: delta base %d, requested %d", task.BaseVersion, task.DeltaBase, q.BaseVersion)
 						return
 					}
-					base := truth.params(t, task.DeltaBase)
+					var base tensor.Vector
+					if base, err = truth.params(task.DeltaBase); err != nil {
+						errs <- err
+						return
+					}
 					got, _, err = codec.ApplyDelta(base, task.EncodedParams)
 				} else {
 					got, _, err = codec.Decode(task.EncodedParams)

@@ -28,6 +28,7 @@ import (
 
 	"flint/internal/availability"
 	"flint/internal/model"
+	"flint/internal/sched"
 	"flint/internal/transport"
 )
 
@@ -66,9 +67,12 @@ type Config struct {
 	// Quorum is the minimum update count accepted at a round deadline;
 	// below it the round is abandoned. Defaults to TargetUpdates/2.
 	Quorum int
-	// OverCommit is the sync-mode assignment multiplier: up to
+	// OverCommit is the sync-mode assignment multiplier baseline: up to
 	// TargetUpdates*OverCommit devices are handed the round's task so
-	// stragglers and dropouts don't stall the round (§3.4).
+	// stragglers and dropouts don't stall the round (§3.4). When the
+	// scheduling plane has measured the fleet, each round's effective
+	// multiplier is this base scaled by the measured straggler tail
+	// (capped by Sched.MaxOverCommit).
 	OverCommit float64
 	// MaxInflight caps outstanding async assignments (0 = 4×Target).
 	MaxInflight int
@@ -102,6 +106,20 @@ type Config struct {
 	// transport defaults (default cohort f32/q8/q8, low-bandwidth
 	// cohort topk/q8/topk, 8 versions of delta history).
 	Transport transport.Config
+
+	// Sched parameterizes the scheduling plane (internal/sched): the
+	// per-device telemetry EWMAs, the measured-bandwidth cohort map that
+	// overrides the WiFi/cellular transport classification, the sync
+	// deadline gate, and the straggler-tail over-commit model. The zero
+	// value is enabled with defaults; set Sched.Disable to recover the
+	// label-only behavior.
+	Sched sched.Config
+
+	// PersistBarrier makes every Nth committed version an fsync-ed
+	// write-behind flush, bounding how many snapshots a host crash can
+	// lose to the page cache (0 = default 8; negative disables the
+	// barrier entirely).
+	PersistBarrier int
 
 	// LocalSteps is the per-task local training step count hint sent to
 	// devices.
@@ -191,6 +209,12 @@ func (c Config) withDefaults() (Config, error) {
 	var err error
 	if c.Transport, err = c.Transport.WithDefaults(); err != nil {
 		return c, fmt.Errorf("coord: %w", err)
+	}
+	if c.Sched, err = c.Sched.WithDefaults(); err != nil {
+		return c, fmt.Errorf("coord: %w", err)
+	}
+	if c.PersistBarrier == 0 {
+		c.PersistBarrier = 8
 	}
 	if c.KeepVersions == 0 {
 		c.KeepVersions = 8

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"flint/internal/metrics"
 	"flint/internal/model"
 	"flint/internal/modelstore"
+	"flint/internal/sched"
 	"flint/internal/tensor"
 	"flint/internal/transport"
 )
@@ -82,7 +84,11 @@ type TaskQuery struct {
 	Binary bool
 }
 
-// Submission is one device's completed task result.
+// Submission is one device's completed task result. The coordinator
+// takes ownership of Delta: the slice is retained in the round buffer
+// until aggregation (which, in async mode, can be a later round than the
+// one that accepted it), so the caller must not mutate it after
+// SubmitUpdate returns.
 type Submission struct {
 	DeviceID    int64
 	RoundID     uint64
@@ -118,12 +124,16 @@ type RoundStatus struct {
 
 // StatusReport is the /v1/status payload.
 type StatusReport struct {
-	Mode      Mode             `json:"mode"`
-	ModelKind model.Kind       `json:"model_kind"`
-	ModelName string           `json:"model_name"`
-	Version   int              `json:"version"`
-	Round     RoundStatus      `json:"round"`
-	Devices   Stats            `json:"devices"`
+	Mode      Mode        `json:"mode"`
+	ModelKind model.Kind  `json:"model_kind"`
+	ModelName string      `json:"model_name"`
+	Version   int         `json:"version"`
+	Round     RoundStatus `json:"round"`
+	Devices   Stats       `json:"devices"`
+	// Scheduler is the scheduling plane's fleet view: measured-device
+	// census, per-cohort bandwidth histograms, straggler quantiles, and
+	// the live over-commit scale.
+	Scheduler sched.Report     `json:"scheduler"`
 	Counters  map[string]int64 `json:"counters"`
 	Recent    []RoundSummary   `json:"recent_rounds,omitempty"`
 }
@@ -139,9 +149,13 @@ type serving struct {
 
 // persistReq is one write-behind job: flush version to the backing
 // directory and, when prune > 0, drop that old version afterwards.
+// barrier marks the every-Nth-commit fsync: the flush is not considered
+// done until the bytes are on stable storage, bounding how many
+// snapshots a host crash (not just a process crash) can lose.
 type persistReq struct {
 	version int
 	prune   int
+	barrier bool
 }
 
 // persistQueueDepth bounds the write-behind backlog. A full queue makes
@@ -178,6 +192,14 @@ type Coordinator struct {
 	strategy   aggregator.Strategy
 	counters   *metrics.CounterSet
 	negotiator *transport.Negotiator
+	// sched is the scheduling plane: measured-bandwidth cohort map,
+	// deadline gate, and straggler-tail over-commit, rebuilt from the
+	// registry's telemetry census by the watchdog.
+	sched *sched.Scheduler
+	// scratch recycles full-dim work vectors across the commit pipeline
+	// and the lazy delta-encode path, so steady-state delta encoding
+	// double-buffers instead of allocating a fresh vector per frame.
+	scratch *vecPool
 	// dim is the immutable flat parameter count, readable without
 	// touching the (commit-mutated) global model.
 	dim int
@@ -239,12 +261,18 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	scheduler, err := sched.New(cfg.Sched)
+	if err != nil {
+		return nil, err
+	}
 	c := &Coordinator{
 		cfg:        cfg,
 		reg:        NewRegistry(cfg.RegistryShards, cfg.DeviceTTL),
 		store:      store,
 		counters:   metrics.NewCounterSet(),
 		negotiator: negotiator,
+		sched:      scheduler,
+		scratch:    newVecPool(m.NumParams()),
 		dim:        m.NumParams(),
 		global:     m,
 		ingest:     make(chan Submission, cfg.QueueDepth),
@@ -265,7 +293,7 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c.version.Store(int64(v))
-	bs := newBroadcastState(v, m.Params().Clone(), nil)
+	bs := newBroadcastState(v, m.Params().Clone(), nil, c.scratch)
 	if !cfg.OmitParams {
 		// With OmitParams no blob is ever served, so skip the encode —
 		// it costs O(dim) work and allocation per publish. Otherwise
@@ -287,8 +315,10 @@ func New(cfg Config) (*Coordinator, error) {
 		"broadcast_bytes_full", "broadcast_bytes_delta",
 		"delta_cache_hits", "delta_cache_misses", "delta_base_aged",
 		"delta_pre_encoded", "publish_pending", "persist_error",
+		"persist_retry", "persist_barrier",
 		"task_sent_delta", "transport_fallback_f32", "update_rejected_oversize",
 		"checkin_unknown_scheme", "task_unknown_scheme",
+		"task_denied_deadline", "task_probe_admitted", "sched_rebuilds",
 		"task_cohort_" + transport.CohortDefault, "task_cohort_" + transport.CohortLowBW,
 	} {
 		c.counters.Counter(name)
@@ -305,9 +335,13 @@ func New(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// newRound opens the next round against broadcast plane bs.
+// newRound opens the next round against broadcast plane bs. Sync rounds
+// are provisioned with the scheduler's deadline-driven over-commit: the
+// configured base scaled by the fleet's measured on-time fraction, so a
+// straggler-heavy census buys more duplicate assignments and the round
+// still closes by its deadline.
 func (c *Coordinator) newRound(id uint64, bs *broadcastState, now time.Time) *Round {
-	maxAssign := int(float64(c.cfg.TargetUpdates) * c.cfg.OverCommit)
+	maxAssign := int(float64(c.cfg.TargetUpdates) * c.sched.OverCommit(c.cfg.OverCommit))
 	if c.cfg.Mode == ModeAsync {
 		maxAssign = c.cfg.MaxInflight
 	}
@@ -368,13 +402,83 @@ func (c *Coordinator) CheckIn(info DeviceInfo) CheckInResult {
 }
 
 // negotiate maps a device's reported state (plus an optional per-request
-// capability override) to its transport decision. Pure and lock-free.
+// capability override) to its transport decision. The scheduler's
+// measured-bandwidth cohort map pins the cohort when the device has
+// earned a measurement; otherwise the radio label classifies, exactly
+// the pre-scheduler rule. Lock-free: one atomic fleet-view load.
 func (c *Coordinator) negotiate(info DeviceInfo, acceptOverride []codec.Kind) transport.Decision {
-	d := transport.Device{Platform: info.Platform, WiFi: info.WiFi, Accept: info.Accept}
+	d := transport.Device{
+		Platform: info.Platform,
+		WiFi:     info.WiFi,
+		Accept:   info.Accept,
+		Cohort:   c.sched.Cohort(info.ID),
+	}
 	if acceptOverride != nil {
 		d.Accept = acceptOverride
 	}
 	return c.negotiator.Negotiate(d)
+}
+
+// taskEstimate sizes the candidate task's wire cost for the deadline
+// gate: the downlink blob under the cohort's broadcast scheme (the delta
+// scheme when the device's base is still in the ring — what it would
+// actually be served) plus the uplink update under the cohort's update
+// scheme.
+func (c *Coordinator) taskEstimate(dec transport.Decision, q TaskQuery) sched.TaskEstimate {
+	if c.cfg.OmitParams {
+		// No blob is ever served: the task's downlink cost is a handful
+		// of headers, so only the uplink counts against the window.
+		return sched.TaskEstimate{UpBytes: sched.WireSizeEstimate(dec.Policy.Update, c.dim)}
+	}
+	down := dec.Policy.Task
+	// The base version is client-controlled: only a base the serving
+	// path could actually answer with a delta (1..current, within the
+	// ring window) earns the cheap delta costing — a bogus future base
+	// would otherwise let a gated straggler buy admission with a ~100x
+	// underestimated download and then be served the full blob anyway.
+	if cur := c.version.Load(); q.BaseVersion > 0 && int64(q.BaseVersion) <= cur &&
+		c.cfg.Transport.DeltaHistory > 0 &&
+		cur-int64(q.BaseVersion) < int64(c.cfg.Transport.DeltaHistory) {
+		down = dec.Policy.Delta
+	}
+	return sched.TaskEstimate{
+		DownBytes: sched.WireSizeEstimate(down, c.dim),
+		UpBytes:   sched.WireSizeEstimate(dec.Policy.Update, c.dim),
+	}
+}
+
+// ObserveTelemetry folds one update-path serving observation (measured
+// uplink transfer, reported download timing and training duration) into
+// the device's telemetry EWMAs. O(1), one registry shard lock.
+func (c *Coordinator) ObserveTelemetry(id int64, o TelemetryObservation) {
+	c.reg.Observe(id, o, c.cfg.Sched.Alpha)
+}
+
+// Scheduler exposes the scheduling plane (diagnostics, tests, benches).
+func (c *Coordinator) Scheduler() *sched.Scheduler { return c.sched }
+
+// rebuildSched refreshes the scheduler's fleet view from a registry
+// telemetry census: the measured-bandwidth cohort map, the over-commit
+// scale, and the /v1/status histograms. O(fleet) — called from the
+// watchdog every Sched.RebuildEvery, never from a serving path.
+func (c *Coordinator) rebuildSched(now time.Time) {
+	if !c.sched.Enabled() {
+		return
+	}
+	// Per-cohort wire costs: a lowbw device's typical task moves its
+	// cohort's sparse encodings, so its straggler estimate must too —
+	// matching what the per-request gate (taskEstimate) would charge it.
+	ests := make(map[string]sched.TaskEstimate, 2)
+	for _, cohort := range []string{transport.CohortDefault, transport.CohortLowBW} {
+		p := c.cfg.Transport.PolicyFor(cohort)
+		e := sched.TaskEstimate{UpBytes: sched.WireSizeEstimate(p.Update, c.dim)}
+		if !c.cfg.OmitParams {
+			e.DownBytes = sched.WireSizeEstimate(p.Task, c.dim)
+		}
+		ests[cohort] = e
+	}
+	c.sched.Rebuild(c.reg.SchedSamples(c.cfg.Criteria, now), c.cfg.RoundDeadline, ests)
+	c.counters.Counter("sched_rebuilds").Inc()
 }
 
 // Heartbeat refreshes liveness for a checked-in device.
@@ -410,7 +514,7 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 	now := c.cfg.Clock()
 	sv := c.serving.Load()
 	r, bs := sv.round, sv.bcast
-	info, ok := c.reg.Get(deviceID)
+	info, tel, ok := c.reg.Snapshot(deviceID)
 	if !ok {
 		// Identity errors stay stable regardless of round budget.
 		return Task{}, ErrUnknownDevice
@@ -418,6 +522,27 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 	if !r.assignable(now) {
 		c.counters.Counter("task_denied_round").Inc()
 		return Task{}, ErrNoTask
+	}
+	// Negotiation is pure, so it runs before the assignment is taken: the
+	// deadline gate needs the cohort's wire schemes to cost the task.
+	dec := c.negotiate(info, q.Accept)
+	if c.cfg.Mode == ModeSync && !c.sched.Admit(tel, r.Deadline.Sub(now), c.taskEstimate(dec, q)) {
+		// The device is measured too slow to finish inside this round's
+		// remaining window: assigning it anyway would burn over-commit
+		// budget on a straggler. Async rounds skip the gate — FedBuff
+		// welcomes slow devices' carry-over updates by design. Once the
+		// consecutive-denial streak crosses ProbeEvery the device is
+		// admitted anyway as a re-measurement probe (and keeps being
+		// admitted until fresh telemetry resets the streak — a probe
+		// that loses the assignment race below must retry, not wait out
+		// another full streak): telemetry refreshes only on the update
+		// path a gated device can't reach, so without probes a device
+		// whose link improved would stay excluded on stale EWMAs forever.
+		if !c.sched.ProbeDue(c.reg.NoteGateDenied(deviceID)) {
+			c.counters.Counter("task_denied_deadline").Inc()
+			return Task{}, ErrNoTask
+		}
+		c.counters.Counter("task_probe_admitted").Inc()
 	}
 	if !c.reg.Assign(deviceID, r.ID, c.cfg.Criteria, now) {
 		c.counters.Counter("task_denied_device").Inc()
@@ -431,7 +556,6 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 		return Task{}, ErrNoTask
 	}
 	c.counters.Counter("task_assigned").Inc()
-	dec := c.negotiate(info, q.Accept)
 	c.counters.Counter("task_cohort_" + dec.Cohort).Inc()
 	if dec.Fallback {
 		// Counted here as well as at check-in: a per-request capability
@@ -580,19 +704,32 @@ func (c *Coordinator) watchdog() {
 	if period > 250*time.Millisecond {
 		period = 250 * time.Millisecond
 	}
+	// The scheduler rebuild rides this ticker, so a rebuild cadence
+	// faster than the deadline-driven tick must pull the tick down with
+	// it — otherwise a sub-tick Sched.RebuildEvery would be silently
+	// quantized to the tick period.
+	if r := c.cfg.Sched.RebuildEvery; c.sched.Enabled() && r < period {
+		period = r
+	}
 	if period < time.Millisecond {
 		period = time.Millisecond
 	}
 	tick := time.NewTicker(period)
 	defer tick.Stop()
 	lastSweep := c.cfg.Clock()
+	lastRebuild := lastSweep
 	for {
 		select {
 		case <-c.done:
 			return
 		case <-tick.C:
 			c.checkDeadline()
-			if now := c.cfg.Clock(); now.Sub(lastSweep) >= c.cfg.DeviceTTL {
+			now := c.cfg.Clock()
+			if now.Sub(lastRebuild) >= c.cfg.Sched.RebuildEvery {
+				lastRebuild = now
+				c.rebuildSched(now)
+			}
+			if now.Sub(lastSweep) >= c.cfg.DeviceTTL {
 				lastSweep = now
 				if n := c.reg.Sweep(2*c.cfg.DeviceTTL, now); n > 0 {
 					c.counters.Counter("devices_swept").Add(int64(n))
@@ -602,14 +739,35 @@ func (c *Coordinator) watchdog() {
 	}
 }
 
+// persistBackoff schedules the write-behind worker's retries: a failed
+// flush (full disk, transient I/O error) is retried with exponential
+// backoff instead of dropped — losing a snapshot's disk copy silently
+// would defeat the write-behind journal's whole point. The schedule is
+// short and bounded so a genuinely dead disk cannot wedge Close.
+var persistBackoff = []time.Duration{5 * time.Millisecond, 25 * time.Millisecond, 125 * time.Millisecond}
+
 // persistLoop is the write-behind worker: it flushes committed versions
 // to the store's backing directory and prunes aged ones, off the commit
-// pipeline's critical path. It drains its queue on shutdown.
+// pipeline's critical path. Barrier requests fsync the snapshot;
+// failures retry with backoff (persist_retry) before surfacing as
+// persist_error. It drains its queue on shutdown.
 func (c *Coordinator) persistLoop() {
 	defer c.persistWG.Done()
 	for req := range c.persist {
-		if err := c.store.Persist(c.cfg.ModelName, req.version); err != nil {
-			c.counters.Counter("persist_error").Inc()
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = c.store.Persist(c.cfg.ModelName, req.version, req.barrier); err == nil {
+				break
+			}
+			if attempt >= len(persistBackoff) {
+				c.counters.Counter("persist_error").Inc()
+				break
+			}
+			c.counters.Counter("persist_retry").Inc()
+			time.Sleep(persistBackoff[attempt])
+		}
+		if err == nil && req.barrier {
+			c.counters.Counter("persist_barrier").Inc()
 		}
 		if req.prune >= 1 {
 			// Versions are sequential, so pruning v-Keep on every commit
@@ -799,7 +957,8 @@ func (c *Coordinator) commitLocked(r *Round, now time.Time) {
 		}
 	}
 	c.counters.Counter("publish_pending").Inc()
-	c.persist <- persistReq{version: v, prune: prune}
+	barrier := c.cfg.PersistBarrier > 0 && v%c.cfg.PersistBarrier == 0
+	c.persist <- persistReq{version: v, prune: prune, barrier: barrier}
 }
 
 // abortCommitLocked is the commit pipeline's failure exit: it rolls the
@@ -823,8 +982,12 @@ func (c *Coordinator) abortCommitLocked(r *Round, bs *broadcastState, params ten
 // frames for the bases live devices actually hold, so the task storm
 // after the swap starts on warm caches.
 func (c *Coordinator) buildBroadcast(prev *broadcastState, v int, now time.Time) (*broadcastState, error) {
+	// The published clone itself cannot come from the scratch pool: the
+	// plane and the version ring retain it for DeltaHistory commits and
+	// in-flight readers share it read-only, so recycling it would tear a
+	// concurrent task response.
 	published := c.global.Params().Clone()
-	bs := newBroadcastState(v, published, nil)
+	bs := newBroadcastState(v, published, nil, c.scratch)
 	if c.cfg.OmitParams {
 		return bs, nil
 	}
@@ -854,29 +1017,53 @@ func (c *Coordinator) buildBroadcast(prev *broadcastState, v int, now time.Time)
 // preencodeDeltas warms the new plane's delta cache with the frames the
 // fleet will request first: for every ring base some live device holds
 // (per the registry's delivered-version census), encode the base→v diff
-// under each cohort's delta scheme, in parallel across bases.
+// under each cohort's delta scheme. Bases are spread across at most
+// GOMAXPROCS workers, each reusing one scratch vector for all its
+// bases, so commit-time memory is O(cores·dim) however deep the ring is
+// — an unbounded goroutine-per-base fan-out would hold ring-depth
+// full-dim vectors at once and defeat the scratch pool.
 func (c *Coordinator) preencodeDeltas(bs *broadcastState, now time.Time) {
 	held := c.reg.BaseVersions(now)
 	schemes := c.cfg.Transport.DeltaSchemes()
-	var wg sync.WaitGroup
+	bases := make([]ringEntry, 0, len(bs.ring))
 	for _, e := range bs.ring {
-		if e.version == bs.version || held[e.version] == 0 {
-			continue
+		if e.version != bs.version && held[e.version] > 0 {
+			bases = append(bases, e)
 		}
+	}
+	if len(bases) == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(bases) {
+		workers = len(bases)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(e ringEntry) {
+		go func() {
 			defer wg.Done()
-			diff := bs.published.Clone()
-			diff.Sub(e.params)
-			for _, s := range schemes {
-				blob, err := codec.EncodeDelta(diff, s)
-				if err != nil {
-					continue // that base falls back to lazy/full serving
+			diff := c.scratch.get()
+			defer c.scratch.put(diff)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bases) {
+					return
 				}
-				bs.setDelta(e.version, s, blob)
-				c.counters.Counter("delta_pre_encoded").Inc()
+				e := bases[i]
+				copy(diff, bs.published)
+				diff.Sub(e.params)
+				for _, s := range schemes {
+					blob, err := codec.EncodeDelta(diff, s)
+					if err != nil {
+						continue // that base falls back to lazy/full serving
+					}
+					bs.setDelta(e.version, s, blob)
+					c.counters.Counter("delta_pre_encoded").Inc()
+				}
 			}
-		}(e)
+		}()
 	}
 	wg.Wait()
 }
@@ -954,6 +1141,7 @@ func (c *Coordinator) Status() StatusReport {
 		Version:   int(c.version.Load()),
 		Round:     rs,
 		Devices:   census,
+		Scheduler: c.sched.Report(),
 		Counters:  c.counters.Snapshot(),
 		Recent:    recent,
 	}

@@ -16,9 +16,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flint/internal/availability"
 	"flint/internal/codec"
 	"flint/internal/device"
 	"flint/internal/metrics"
+	"flint/internal/network"
 	"flint/internal/tensor"
 	"flint/internal/transport"
 )
@@ -58,6 +60,28 @@ type FleetConfig struct {
 	// receive the full broadcast. Mixing them in proves delta-capable,
 	// legacy-binary, and JSON clients coexist in the same rounds.
 	LegacyFraction float64
+	// Bandwidth, when non-nil, gives every device a persistent sampled
+	// link (downlink from the model, uplink at a fraction of it) that the
+	// fleet actually honors: uploads stream through a rate-limited
+	// reader (so the server's observed /v1/update transfer timing is the
+	// real simulated rate), task downloads cost a proportional sleep,
+	// and devices report their download and training timings back via
+	// the X-Flint-Down-*/X-Flint-Train-Ms headers — the scheduler's
+	// telemetry diet. Sampling is independent of the WiFi label, so the
+	// fleet contains fast "cellular" and slow "WiFi" devices for the
+	// measured cohort map to correct.
+	Bandwidth *network.BandwidthModel
+	// Churn drives device availability from a generated diurnal session
+	// trace (availability.GenerateLog) instead of an always-on loop:
+	// devices only check in while inside one of their trace windows, and
+	// their session attributes (WiFi, battery, expected remaining
+	// seconds) come from the window — the paper's §3.2 availability
+	// pattern hitting the live scheduler.
+	Churn bool
+	// TraceScale compresses trace time onto the wall clock when Churn is
+	// set: trace-seconds per wall-second (default 60 — a 10-minute
+	// session plays out in 10 wall seconds).
+	TraceScale float64
 	// Client overrides the HTTP client (tests inject the httptest
 	// client; the default is tuned for a many-device single-host fleet).
 	Client *http.Client
@@ -94,6 +118,14 @@ func (c FleetConfig) withDefaults() (FleetConfig, error) {
 	}
 	if c.JSONFraction+c.LegacyFraction > 1 {
 		return c, fmt.Errorf("coord: JSON fraction %v + legacy fraction %v exceed 1", c.JSONFraction, c.LegacyFraction)
+	}
+	if c.Bandwidth != nil {
+		if err := c.Bandwidth.Validate(); err != nil {
+			return c, fmt.Errorf("coord: %w", err)
+		}
+	}
+	if c.TraceScale <= 0 {
+		c.TraceScale = 60
 	}
 	if c.Client == nil {
 		tr := &http.Transport{
@@ -257,6 +289,21 @@ type fleetDevice struct {
 	// Client-observed wire traffic (request/response bodies), merged
 	// into the fleet totals at shutdown.
 	bytesSent, bytesRecv int64
+	// downBps/upBps are the device's persistent simulated link rates
+	// (bytes/second; 0 = link simulation off). lastDown*/lastTrain hold
+	// the most recent task's observed timings, reported to the server
+	// with the next update as scheduler telemetry.
+	downBps, upBps float64
+	lastDownBytes  int
+	lastDownDur    time.Duration
+	lastTrainDur   time.Duration
+	// sessions is the device's diurnal availability trace (churn mode):
+	// windows in trace seconds within one day, replayed cyclically at
+	// TraceScale. session is the window the device currently sits in and
+	// sessionLeft its remaining trace-seconds at selection time.
+	sessions    []availability.Session
+	session     *availability.Session
+	sessionLeft float64
 }
 
 // RunFleet executes the load generator and blocks until the server commits
@@ -281,6 +328,12 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 	if jsonCount+legacyCount > cfg.Devices {
 		legacyCount = cfg.Devices - jsonCount
 	}
+	var traces map[int64][]availability.Session
+	if cfg.Churn {
+		if traces, err = generateFleetTraces(cfg, pop); err != nil {
+			return nil, err
+		}
+	}
 	devs := make([]*fleetDevice, cfg.Devices)
 	for i, s := range sampled {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
@@ -294,6 +347,14 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 			binary:   i >= jsonCount,
 			legacy:   i >= jsonCount && i < jsonCount+legacyCount,
 			rng:      rng,
+			sessions: traces[int64(i)],
+		}
+		if cfg.Bandwidth != nil {
+			// The link is sampled independently of any session's WiFi
+			// label: real fleets have congested WiFi and excellent LTE,
+			// which is exactly what measured cohorting must correct for.
+			devs[i].downBps = cfg.Bandwidth.SampleBps(rng)
+			devs[i].upBps = devs[i].downBps * 0.4
 		}
 	}
 
@@ -398,14 +459,93 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 	return rep, nil
 }
 
+// traceDayOffset anchors the cyclic trace replay at 19:00 — near the
+// diurnal peak, so a churned fleet starts a run with devices available
+// and the availability level drifts as the replay walks the curve.
+const traceDayOffset = 19 * 3600.0
+
+// generateFleetTraces builds the churn-mode availability traces: one day
+// of diurnal sessions per client from the paper's synthetic session-log
+// generator, grouped per client (each client's slice stays
+// start-ordered, inherited from the generator's global sort). The
+// session density is tuned so roughly a third of the fleet is available
+// at the peak — enough concurrency to drive rounds, enough churn that
+// eligibility flaps constantly.
+func generateFleetTraces(cfg FleetConfig, pop device.PopulationModel) (map[int64][]availability.Session, error) {
+	sessions, err := availability.GenerateLog(availability.LogConfig{
+		Clients:          cfg.Devices,
+		Days:             1,
+		SessionsPerDay:   24,
+		MedianSessionSec: 480,
+		DurationSigma:    0.8,
+		WiFiProb:         0.72,
+		BatteryHighProb:  0.56,
+		Population:       pop,
+		Seed:             cfg.Seed + 101,
+	})
+	if err != nil {
+		return nil, err
+	}
+	by := make(map[int64][]availability.Session)
+	for _, s := range sessions {
+		by[s.ClientID] = append(by[s.ClientID], s)
+	}
+	return by, nil
+}
+
+// sessionAt finds the availability window covering the device's current
+// trace position (the wall clock scaled and wrapped onto the one-day
+// trace), returning it with the window's remaining trace-seconds — the
+// honest "expected remaining session" a check-in should report. When
+// the device is between windows it returns nil plus the wall-clock wait
+// until its next window opens.
+func (d *fleetDevice) sessionAt(elapsed time.Duration, scale float64) (sess *availability.Session, left float64, wait time.Duration) {
+	const day = 86400.0
+	pos := math.Mod(traceDayOffset+elapsed.Seconds()*scale, day)
+	nextStart := math.Inf(1)
+	for i := range d.sessions {
+		s := &d.sessions[i]
+		if s.Start <= pos && pos < s.End {
+			return s, s.End - pos, 0
+		}
+		if s.Start > pos && s.Start < nextStart {
+			nextStart = s.Start
+		}
+	}
+	if math.IsInf(nextStart, 1) {
+		// Past the day's last window: wait for the replay to wrap to the
+		// first one.
+		nextStart = d.sessions[0].Start + day
+	}
+	return nil, 0, time.Duration((nextStart - pos) / scale * float64(time.Second))
+}
+
 // run is one device's protocol loop: check in with fresh session state,
 // poll for a task, "train" for a profile-scaled interval, submit the delta.
+// In churn mode the loop only runs while the device's availability trace
+// has a window open; between windows it sleeps offline.
 func (d *fleetDevice) run(ctx context.Context, cfg FleetConfig, totals *fleetTotals) {
+	if cfg.Churn && len(d.sessions) == 0 {
+		// A client with no sessions in the trace is offline for the whole
+		// replay.
+		return
+	}
+	start := time.Now()
 	// Stagger start-up so the fleet doesn't arrive as one spike.
 	if !sleepCtx(ctx, time.Duration(d.rng.Int63n(int64(cfg.ThinkTime)+1))) {
 		return
 	}
 	for {
+		if cfg.Churn {
+			sess, left, wait := d.sessionAt(time.Since(start), cfg.TraceScale)
+			if sess == nil {
+				if !sleepCtx(ctx, wait) {
+					return
+				}
+				continue
+			}
+			d.session, d.sessionLeft = sess, left
+		}
 		ok, err := d.checkIn(ctx, cfg)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -425,9 +565,11 @@ func (d *fleetDevice) run(ctx context.Context, cfg FleetConfig, totals *fleetTot
 			}
 			if task != nil {
 				totals.tasks.Add(1)
-				if !sleepCtx(ctx, d.trainTime(task.LocalSteps, cfg.ComputeScale)) {
+				train := d.trainTime(task.LocalSteps, cfg.ComputeScale)
+				if !sleepCtx(ctx, train) {
 					return
 				}
+				d.lastTrainDur = train
 				accepted, err := d.submit(ctx, cfg, task)
 				switch {
 				case err != nil:
@@ -461,7 +603,9 @@ func (d *fleetDevice) trainTime(steps int, scale float64) time.Duration {
 
 func (d *fleetDevice) checkIn(ctx context.Context, cfg FleetConfig) (bool, error) {
 	// Session attributes are re-drawn per check-in: device state changes
-	// between sessions (§3.2), so eligibility flaps realistically.
+	// between sessions (§3.2), so eligibility flaps realistically. In
+	// churn mode they come from the availability trace's current window
+	// instead — the generated diurnal pattern, not a coin flip.
 	req := CheckInRequest{
 		DeviceID:    d.id,
 		Model:       d.model,
@@ -471,6 +615,18 @@ func (d *fleetDevice) checkIn(ctx context.Context, cfg FleetConfig) (bool, error
 		ModernOS:    d.modernOS,
 		SessionSec:  30 + d.rng.ExpFloat64()*180,
 		Weight:      d.weight,
+	}
+	if d.session != nil {
+		req.WiFi = d.session.WiFi
+		req.BatteryHigh = d.session.BatteryHigh
+		req.ModernOS = d.session.ModernOS
+		// Remaining window time, not the window's full span — a device
+		// about to leave must not pass a MinSessionSec criterion on the
+		// strength of time it has already spent — and converted to wall
+		// seconds: the server's deadlines and TTLs run on the wall
+		// clock, so a trace-domain number would overstate availability
+		// by the replay's compression factor.
+		req.SessionSec = d.sessionLeft / cfg.TraceScale
 	}
 	if d.binary && !d.legacy {
 		// Current clients advertise every kind this build decodes;
@@ -540,6 +696,16 @@ func (d *fleetDevice) fetchTaskBinary(ctx context.Context, cfg FleetConfig) (*Ta
 	d.lat.task = append(d.lat.task, msSince(t0))
 	if resp.StatusCode != http.StatusOK {
 		return nil, nil
+	}
+	if d.downBps > 0 && len(body) > 0 {
+		// Honor the simulated link: downloading the blob costs real wall
+		// time, and the observed transfer is reported to the server with
+		// the next update (the scheduler's downlink telemetry).
+		dur := time.Duration(float64(len(body)) / d.downBps * float64(time.Second))
+		if !sleepCtx(ctx, dur) {
+			return nil, ctx.Err()
+		}
+		d.lastDownBytes, d.lastDownDur = len(body), dur
 	}
 	if !strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeTensor) {
 		var task TaskResponse
@@ -635,7 +801,14 @@ func (d *fleetDevice) submitBinary(ctx context.Context, cfg FleetConfig, task *T
 	if err != nil {
 		return false, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/update", bytes.NewReader(blob))
+	var upBody io.Reader = bytes.NewReader(blob)
+	if d.upBps > 0 {
+		// Rate-limit the upload stream itself so the server's observed
+		// /v1/update transfer timing — its uplink telemetry — reflects
+		// the simulated link, not loopback.
+		upBody = &throttledReader{r: upBody, bps: d.upBps, ctx: ctx}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/update", upBody)
 	if err != nil {
 		return false, err
 	}
@@ -644,6 +817,13 @@ func (d *fleetDevice) submitBinary(ctx context.Context, cfg FleetConfig, task *T
 	req.Header.Set(hdrRound, strconv.FormatUint(task.RoundID, 10))
 	req.Header.Set(hdrBaseVersion, strconv.Itoa(task.BaseVersion))
 	req.Header.Set(hdrWeight, strconv.FormatFloat(d.weight, 'g', -1, 64))
+	if d.lastDownBytes > 0 {
+		req.Header.Set(hdrDownBytes, strconv.Itoa(d.lastDownBytes))
+		req.Header.Set(hdrDownMS, strconv.FormatFloat(float64(d.lastDownDur)/float64(time.Millisecond), 'g', -1, 64))
+	}
+	if d.lastTrainDur > 0 {
+		req.Header.Set(hdrTrainMS, strconv.FormatFloat(float64(d.lastTrainDur)/float64(time.Millisecond), 'g', -1, 64))
+	}
 	t0 := time.Now()
 	resp, err := cfg.Client.Do(req)
 	if err != nil {
@@ -725,6 +905,33 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, in, ou
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// throttledReader meters a payload stream at bps bytes/second in small
+// chunks, so a reader on the far side of an HTTP connection observes a
+// transfer at the simulated link rate.
+type throttledReader struct {
+	r   io.Reader
+	bps float64
+	ctx context.Context
+}
+
+// throttleChunk is the metering granularity: small enough that a slow
+// link's rate shows up within one typical update blob, large enough that
+// the sleeps don't swamp the scheduler.
+const throttleChunk = 8 << 10
+
+func (t *throttledReader) Read(p []byte) (int, error) {
+	if len(p) > throttleChunk {
+		p = p[:throttleChunk]
+	}
+	n, err := t.r.Read(p)
+	if n > 0 && t.bps > 0 {
+		if !sleepCtx(t.ctx, time.Duration(float64(n)/t.bps*float64(time.Second))) {
+			return n, t.ctx.Err()
+		}
+	}
+	return n, err
 }
 
 func msSince(t0 time.Time) float64 { return float64(time.Since(t0)) / float64(time.Millisecond) }

@@ -1,0 +1,8 @@
+//go:build race
+
+package coord
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; sync.Pool-identity and allocation-accounting assertions skip
+// themselves under it (the race runtime randomizes pool reuse).
+const raceEnabled = true

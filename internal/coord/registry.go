@@ -6,6 +6,7 @@ import (
 
 	"flint/internal/availability"
 	"flint/internal/codec"
+	"flint/internal/sched"
 )
 
 // DeviceInfo is the device-reported state carried by a check-in or
@@ -55,6 +56,15 @@ type deviceState struct {
 	// distribution of these to pre-encode the delta frames the next task
 	// storm will actually ask for.
 	baseVersion int
+	// tel is the device's measured serving telemetry (EWMA link
+	// throughput, reported task durations) — the scheduling plane's
+	// ground truth, folded in on the update path and read at assignment
+	// time and by the scheduler's periodic fleet census.
+	tel sched.Telemetry
+	// gateDenials counts consecutive deadline-gate rejections; every
+	// Nth is admitted as a re-measurement probe, and any fresh
+	// telemetry observation resets the streak.
+	gateDenials int
 }
 
 // regShard is one lock stripe of the registry. Padding is omitted: shards
@@ -133,6 +143,100 @@ func (r *Registry) Get(id int64) (DeviceInfo, bool) {
 		return DeviceInfo{}, false
 	}
 	return d.info, true
+}
+
+// Snapshot returns a device's reported state together with its measured
+// telemetry in one shard critical section (the task-assignment path reads
+// both).
+func (r *Registry) Snapshot(id int64) (DeviceInfo, sched.Telemetry, bool) {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[id]
+	if !ok {
+		return DeviceInfo{}, sched.Telemetry{}, false
+	}
+	return d.info, d.tel, true
+}
+
+// TelemetryObservation is one update-path serving observation: the
+// server-measured uplink transfer plus whatever the device reported about
+// its side of the task (download timing, training duration). Zero fields
+// are skipped.
+type TelemetryObservation struct {
+	UpBytes int
+	UpDur   time.Duration
+	// DownBytes/DownDur are the device-reported task-download transfer.
+	DownBytes int
+	DownDur   time.Duration
+	// Train is the device-reported local-training duration.
+	Train time.Duration
+}
+
+// Observe folds one serving observation into the device's telemetry
+// EWMAs. O(1), one shard lock; unknown devices are ignored.
+func (r *Registry) Observe(id int64, o TelemetryObservation, alpha float64) {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[id]
+	if !ok {
+		return
+	}
+	if o.UpBytes > 0 {
+		d.tel.ObserveUplink(o.UpBytes, o.UpDur, alpha)
+	}
+	if o.DownBytes > 0 {
+		d.tel.ObserveDownlink(o.DownBytes, o.DownDur, alpha)
+	}
+	if o.Train > 0 {
+		d.tel.ObserveTask(o.Train, alpha)
+	}
+	// Fresh measurements restart the deadline-gate denial streak: the
+	// next gate decision runs on this observation, not the stale one
+	// that was being probed.
+	d.gateDenials = 0
+}
+
+// NoteGateDenied records one deadline-gate rejection and returns the
+// device's consecutive-denial streak (the probe-admission cadence input).
+// O(1), one shard lock; unknown devices report 0.
+func (r *Registry) NoteGateDenied(id int64) int {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[id]
+	if !ok {
+		return 0
+	}
+	d.gateDenials++
+	return d.gateDenials
+}
+
+// SchedSamples snapshots every live device's telemetry for the
+// scheduler's fleet-view rebuild, stamping each with its radio label and
+// current criteria eligibility. O(fleet): it scans every shard, so it
+// belongs in the maintenance loop (once per rebuild period), never on a
+// serving path.
+func (r *Registry) SchedSamples(c availability.Criteria, now time.Time) []sched.DeviceSample {
+	var out []sched.DeviceSample
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for id, d := range s.devs {
+			if !r.live(d, now) {
+				continue
+			}
+			out = append(out, sched.DeviceSample{
+				ID:       id,
+				WiFi:     d.info.WiFi,
+				Eligible: c.Admit(d.info.session()),
+				Tel:      d.tel,
+			})
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Eligible reports whether the device is known, live at now, idle, and

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -46,6 +47,15 @@ const (
 	hdrDelta         = "X-Flint-Delta"
 	hdrAcceptSchemes = "X-Flint-Accept-Schemes"
 	hdrCohort        = "X-Flint-Cohort"
+	// Telemetry report headers on POST /v1/update: the device's observed
+	// task-download transfer (bytes and milliseconds) and its local
+	// training duration. They feed the scheduling plane's per-device
+	// EWMAs; the uplink half is measured server-side from the body
+	// transfer itself. All optional — devices predating the scheduler
+	// simply stay unmeasured.
+	hdrDownBytes = "X-Flint-Down-Bytes"
+	hdrDownMS    = "X-Flint-Down-Ms"
+	hdrTrainMS   = "X-Flint-Train-Ms"
 )
 
 // maxUpdateBody bounds a /v1/update body read: the largest zoo model is
@@ -318,6 +328,13 @@ func (s *Server) paramsJSON(t Task) json.RawMessage {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	// The body transfer is the scheduling plane's uplink probe: count the
+	// bytes actually read and time the read (decode compute rides along,
+	// but real transfers are network-dominated and the EWMA absorbs the
+	// skew).
+	counter := &countingReadCloser{rc: r.Body}
+	r.Body = counter
+	t0 := time.Now()
 	var sub Submission
 	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeTensor) {
 		parsed, err := s.binarySubmission(w, r)
@@ -357,6 +374,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.c.counters.Counter("update_recv_json").Inc()
 	}
+	// A well-formed body is a telemetry observation whether or not the
+	// round accepts the update — the transfer happened either way.
+	s.observeUpdate(r, sub.DeviceID, int(counter.n), time.Since(t0))
 	err := s.c.SubmitUpdate(sub)
 	switch {
 	case errors.Is(err, ErrBusy):
@@ -437,6 +457,48 @@ func (s *Server) binarySubmission(w http.ResponseWriter, r *http.Request) (Submi
 		Weight:      weight,
 		Delta:       delta,
 	}, nil
+}
+
+// countingReadCloser counts the bytes read through a request body — the
+// uplink half of the scheduling plane's telemetry.
+type countingReadCloser struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (c *countingReadCloser) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReadCloser) Close() error { return c.rc.Close() }
+
+// maxReportedMS bounds the device-reported timing headers (one hour):
+// these values are client-controlled, and an absurd duration would park
+// a device's task-time EWMA so high no probe could ever rehabilitate it
+// within a test's or operator's patience.
+const maxReportedMS = 3_600_000
+
+// observeUpdate folds one update's serving telemetry into the device's
+// EWMAs: the server-measured uplink transfer plus the optional
+// device-reported download and training timings. Reported values are
+// client-controlled, so they pass the same kind of plausibility screen
+// every other ingress gets: byte counts beyond the body budget and
+// durations beyond an hour are dropped (the telemetry layer additionally
+// caps the implied throughput of each observation).
+func (s *Server) observeUpdate(r *http.Request, id int64, upBytes int, upDur time.Duration) {
+	o := TelemetryObservation{UpBytes: upBytes, UpDur: upDur}
+	if b, err := strconv.Atoi(r.Header.Get(hdrDownBytes)); err == nil && b > 0 && b <= maxUpdateBody {
+		if ms, err := strconv.ParseFloat(r.Header.Get(hdrDownMS), 64); err == nil && ms > 0 && ms <= maxReportedMS {
+			o.DownBytes = b
+			o.DownDur = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	if ms, err := strconv.ParseFloat(r.Header.Get(hdrTrainMS), 64); err == nil && ms > 0 && ms <= maxReportedMS {
+		o.Train = time.Duration(ms * float64(time.Millisecond))
+	}
+	s.c.ObserveTelemetry(id, o)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

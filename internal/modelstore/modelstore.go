@@ -97,9 +97,13 @@ func (s *Store) PutAt(name string, version int, raw []byte) error {
 }
 
 // Persist writes a stored version's bytes to the backing directory — the
-// write-behind half of PutAt. It is a no-op for a memory-only store and
-// an error for a version the store does not hold.
-func (s *Store) Persist(name string, version int) error {
+// write-behind half of PutAt. With barrier set the write is fsync-ed
+// through to stable storage (and the directory entry synced too) before
+// Persist returns: write-behind publishers issue a barrier every N
+// commits so a host crash loses at most N snapshots' disk copies, not an
+// unbounded page-cache backlog. It is a no-op for a memory-only store
+// and an error for a version the store does not hold.
+func (s *Store) Persist(name string, version int, barrier bool) error {
 	s.mu.RLock()
 	raw, ok := s.blob[name][version]
 	dir := s.dir
@@ -111,8 +115,34 @@ func (s *Store) Persist(name string, version int) error {
 		return nil
 	}
 	path := snapshotPath(dir, name, version)
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	if !barrier {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return fmt.Errorf("modelstore: persist %s: %w", path, err)
+		}
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("modelstore: persist %s: %w", path, err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("modelstore: persist %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("modelstore: fsync %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("modelstore: persist %s: %w", path, err)
+	}
+	// Sync the directory entry as well: a new file's durability needs
+	// its name to survive, not just its bytes. Best-effort — some
+	// filesystems refuse directory fsync, and the data barrier above is
+	// the load-bearing half.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return nil
 }

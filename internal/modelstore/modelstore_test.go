@@ -127,7 +127,7 @@ func TestPutAtAndPersist(t *testing.T) {
 	}
 
 	// Persist is the write-behind half.
-	if err := s.Persist("wb", 1); err != nil {
+	if err := s.Persist("wb", 1, false); err != nil {
 		t.Fatal(err)
 	}
 	onDisk, err := os.ReadFile(filepath.Join(dir, "wb-v001.fct"))
@@ -148,7 +148,7 @@ func TestPutAtAndPersist(t *testing.T) {
 	if err := s.PutAt("", 2, buf.Bytes()); err == nil {
 		t.Fatal("empty name must fail")
 	}
-	if err := s.Persist("wb", 9); err == nil {
+	if err := s.Persist("wb", 9, true); err == nil {
 		t.Fatal("persisting a missing version must fail")
 	}
 
@@ -157,7 +157,7 @@ func TestPutAtAndPersist(t *testing.T) {
 	if err := mem.PutAt("wb", 3, buf.Bytes()); err != nil {
 		t.Fatal(err)
 	}
-	if err := mem.Persist("wb", 3); err != nil {
+	if err := mem.Persist("wb", 3, true); err != nil {
 		t.Fatal(err)
 	}
 
@@ -205,5 +205,40 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if got := len(s.Versions("shared")); got != 320 {
 		t.Fatalf("expected 320 versions, got %d", got)
+	}
+}
+
+// TestPersistBarrier exercises the fsync path: a barrier persist must
+// land identical bytes on disk and survive version overwrite semantics.
+func TestPersistBarrier(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := model.New(model.KindA, 11)
+	var buf bytes.Buffer
+	if err := model.Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutAt("fs", 1, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Persist("fs", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, "fs-v001.fct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, buf.Bytes()) {
+		t.Fatal("barrier persist wrote different bytes")
+	}
+	// A barrier re-persist of the same version truncates cleanly.
+	if err := s.Persist("fs", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := os.ReadFile(filepath.Join(dir, "fs-v001.fct")); !bytes.Equal(again, buf.Bytes()) {
+		t.Fatal("barrier re-persist corrupted the snapshot")
 	}
 }

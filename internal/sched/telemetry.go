@@ -1,0 +1,87 @@
+package sched
+
+import "time"
+
+// Telemetry is one device's measured serving history: EWMA link
+// throughput in each direction plus the reported local-task duration.
+// It is a plain value — the registry embeds one per device and guards it
+// with the device's shard lock, so the observe methods need no
+// synchronization of their own.
+type Telemetry struct {
+	// UpBps is the EWMA uplink throughput (bytes/second) from
+	// server-observed /v1/update body-transfer timings.
+	UpBps float64
+	// DownBps is the EWMA downlink throughput (bytes/second) from the
+	// task-download timings devices report with their updates.
+	DownBps float64
+	// TaskSec is the EWMA reported local-training duration in seconds.
+	TaskSec float64
+	// Sample counts gate how much trust each EWMA has earned.
+	UpSamples, DownSamples, TaskSamples int
+}
+
+// minTransfer floors an observed transfer duration: loopback and
+// in-process tests can observe ~0ns for a real payload, and a zero
+// duration would turn one observation into an infinite-bandwidth EWMA
+// that poisons the estimate forever.
+const minTransfer = 100 * time.Microsecond
+
+// maxObservedBps caps a single observation's implied throughput (10
+// Gbit/s — beyond any edge device's real link). Downlink observations
+// are device-reported and therefore forgeable; without the cap one
+// absurd bytes/duration pair would pin the EWMA so high the device
+// passes every deadline gate and lands in the default cohort no matter
+// what its link actually does.
+const maxObservedBps = 1.25e9
+
+// ObserveUplink folds one observed /v1/update transfer (bytes moved over
+// d) into the uplink EWMA.
+func (t *Telemetry) ObserveUplink(bytes int, d time.Duration, alpha float64) {
+	if bytes <= 0 {
+		return
+	}
+	if d < minTransfer {
+		d = minTransfer
+	}
+	t.UpBps = ewma(t.UpBps, clampBps(float64(bytes)/d.Seconds()), alpha, t.UpSamples)
+	t.UpSamples++
+}
+
+// ObserveDownlink folds one reported task-download transfer into the
+// downlink EWMA.
+func (t *Telemetry) ObserveDownlink(bytes int, d time.Duration, alpha float64) {
+	if bytes <= 0 {
+		return
+	}
+	if d < minTransfer {
+		d = minTransfer
+	}
+	t.DownBps = ewma(t.DownBps, clampBps(float64(bytes)/d.Seconds()), alpha, t.DownSamples)
+	t.DownSamples++
+}
+
+func clampBps(x float64) float64 {
+	if x > maxObservedBps {
+		return maxObservedBps
+	}
+	return x
+}
+
+// ObserveTask folds one reported local-training duration into the
+// task-duration EWMA.
+func (t *Telemetry) ObserveTask(d time.Duration, alpha float64) {
+	if d <= 0 {
+		return
+	}
+	t.TaskSec = ewma(t.TaskSec, d.Seconds(), alpha, t.TaskSamples)
+	t.TaskSamples++
+}
+
+// ewma folds sample x into the running mean: the first observation seeds
+// the series, later ones blend with weight alpha.
+func ewma(prev, x, alpha float64, samples int) float64 {
+	if samples == 0 {
+		return x
+	}
+	return alpha*x + (1-alpha)*prev
+}

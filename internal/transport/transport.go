@@ -133,8 +133,15 @@ type Device struct {
 	// Platform is the device OS family ("Android", "iOS", ...).
 	Platform string
 	// WiFi is the session's connectivity class; cellular sessions are
-	// classified low-bandwidth.
+	// classified low-bandwidth when no Cohort pin is present.
 	WiFi bool
+	// Cohort, when set to a known cohort name, pins the classification:
+	// the caller has a better signal than the radio label (the
+	// scheduler's measured-bandwidth cohort map). Unknown or empty
+	// values fall back to the WiFi rule, so an unmeasured device — or a
+	// pin from a newer scheduler this build doesn't know — degrades to
+	// the label-based classification instead of erroring.
+	Cohort string
 	// Accept lists the scheme kinds the client can decode, in no
 	// particular order. nil means the client predates negotiation
 	// (legacy binary or JSON) and is assumed to decode every kind this
@@ -175,12 +182,35 @@ func NewNegotiator(cfg Config) (*Negotiator, error) {
 func (n *Negotiator) Config() Config { return n.cfg }
 
 // Classify maps device state to its cohort name without negotiating
-// schemes (diagnostics and tests; serving uses Negotiate).
+// schemes (diagnostics and tests; serving uses Negotiate). A valid
+// Cohort pin — the measured-bandwidth assignment a scheduler computed —
+// wins over the radio label.
 func (n *Negotiator) Classify(d Device) string {
-	if !d.WiFi {
+	switch d.Cohort {
+	case CohortDefault, CohortLowBW:
+		return d.Cohort
+	}
+	return LabelCohort(d.WiFi)
+}
+
+// LabelCohort is the radio-label fallback classification — the single
+// source of the WiFi→default / cellular→lowbw rule, shared by the
+// negotiator and by schedulers placing unmeasured devices in their
+// census.
+func LabelCohort(wifi bool) string {
+	if !wifi {
 		return CohortLowBW
 	}
 	return CohortDefault
+}
+
+// PolicyFor returns the named cohort's policy (unknown names get the
+// default cohort's).
+func (c Config) PolicyFor(cohort string) Policy {
+	if cohort == CohortLowBW {
+		return c.LowBW
+	}
+	return c.Default
 }
 
 // Negotiate assigns the device its cohort policy, constrained to the
@@ -190,12 +220,7 @@ func (n *Negotiator) Classify(d Device) string {
 // as a fallback so the caller can count it.
 func (n *Negotiator) Negotiate(d Device) Decision {
 	dec := Decision{Cohort: n.Classify(d)}
-	switch dec.Cohort {
-	case CohortLowBW:
-		dec.Policy = n.cfg.LowBW
-	default:
-		dec.Policy = n.cfg.Default
-	}
+	dec.Policy = n.cfg.PolicyFor(dec.Cohort)
 	if d.Accept == nil {
 		return dec
 	}

@@ -52,6 +52,77 @@ func TestClassifyCohorts(t *testing.T) {
 	}
 }
 
+// TestClassifyCohortPin: a scheduler-computed cohort pin overrides the
+// radio label in both directions; an unknown pin (a newer scheduler's
+// cohort this build doesn't know) degrades to the label rule.
+func TestClassifyCohortPin(t *testing.T) {
+	n := mustNegotiator(t, Config{})
+	if c := n.Classify(Device{WiFi: true, Cohort: CohortLowBW}); c != CohortLowBW {
+		t.Fatalf("slow WiFi pin: cohort = %q", c)
+	}
+	if c := n.Classify(Device{WiFi: false, Cohort: CohortDefault}); c != CohortDefault {
+		t.Fatalf("fast cellular pin: cohort = %q", c)
+	}
+	if c := n.Classify(Device{WiFi: false, Cohort: "hyperband"}); c != CohortLowBW {
+		t.Fatalf("unknown pin: cohort = %q, want label fallback", c)
+	}
+	// The pin carries through negotiation to the policy.
+	dec := n.Negotiate(Device{WiFi: true, Cohort: CohortLowBW, Accept: AllKinds()})
+	if dec.Cohort != CohortLowBW || dec.Policy != n.Config().LowBW {
+		t.Fatalf("pinned negotiation = %+v", dec)
+	}
+}
+
+// TestNegotiateEmptyAccept (negotiation edge case): an empty-but-non-nil
+// capability list means "advertised, nothing usable" — every slot falls
+// back to f32 and the decision is flagged, unlike the nil legacy case.
+func TestNegotiateEmptyAccept(t *testing.T) {
+	n := mustNegotiator(t, Config{})
+	dec := n.Negotiate(Device{WiFi: true, Accept: []codec.Kind{}})
+	if !dec.Fallback {
+		t.Fatalf("empty accept list not flagged: %+v", dec)
+	}
+	if dec.Policy.Task != codec.F32 || dec.Policy.Update != codec.F32 || dec.Policy.Delta != codec.F32 {
+		t.Fatalf("empty-list policy = %+v", dec.Policy)
+	}
+}
+
+// TestParseAcceptGarbage: hostile or nonsense lists degrade to the
+// empty-but-non-nil list (which Negotiate then serves as f32 fallback),
+// never an error or a nil that would read as "legacy client".
+func TestParseAcceptGarbage(t *testing.T) {
+	for _, in := range []string{",,,", " , ", "🚀,💾", "q8:::9", "f3 2", ":::"} {
+		kinds, _ := ParseAccept(in)
+		if kinds == nil {
+			t.Fatalf("ParseAccept(%q) returned nil", in)
+		}
+		for _, k := range kinds {
+			switch k {
+			case codec.KindRawF64, codec.KindF32, codec.KindQ8, codec.KindTopK:
+			default:
+				t.Fatalf("ParseAccept(%q) produced unknown kind %v", in, k)
+			}
+		}
+	}
+	// "q8:::9" cuts at the first colon: the q8 capability survives.
+	if kinds, _ := ParseAccept("q8:::9"); len(kinds) != 1 || kinds[0] != codec.KindQ8 {
+		t.Fatalf("parameterized garbage: %v", kinds)
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	cfg, err := Config{}.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PolicyFor(CohortLowBW) != cfg.LowBW {
+		t.Fatal("PolicyFor(lowbw) != LowBW policy")
+	}
+	if cfg.PolicyFor(CohortDefault) != cfg.Default || cfg.PolicyFor("unknown") != cfg.Default {
+		t.Fatal("PolicyFor default/unknown != Default policy")
+	}
+}
+
 // TestNegotiateLegacyClient pins backward compatibility: a device that
 // never advertised capabilities (nil Accept) gets the unfiltered cohort
 // policy, exactly what pre-negotiation servers served.

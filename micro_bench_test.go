@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"flint/internal/model"
 	"flint/internal/partition"
 	"flint/internal/report"
+	"flint/internal/sched"
 	"flint/internal/tensor"
 )
 
@@ -524,6 +526,188 @@ func BenchmarkTaskServeDuringCommit(b *testing.B) {
 		b.Fatal("no commits happened: the bench measured an idle server")
 	}
 	b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/sec")
+}
+
+// ------------------------------------------------------ scheduling plane
+
+// BenchmarkSchedCohortRebuild measures the scheduler's fleet-view
+// rebuild — the O(fleet) cohort-map + over-commit + histogram pass the
+// watchdog pays every rebuild period — at a 5000-device census.
+func BenchmarkSchedCohortRebuild(b *testing.B) {
+	s, err := sched.New(sched.Config{MinSamples: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	devs := make([]sched.DeviceSample, 5000)
+	for i := range devs {
+		bps := 1e4 * math.Exp(rng.NormFloat64()*2)
+		devs[i] = sched.DeviceSample{
+			ID:       int64(i + 1),
+			WiFi:     rng.Intn(2) == 0,
+			Eligible: rng.Intn(4) > 0,
+			Tel: sched.Telemetry{
+				DownBps: bps, UpBps: bps * 0.4, TaskSec: 0.5 + rng.Float64(),
+				DownSamples: 3, UpSamples: 3, TaskSamples: 3,
+			},
+		}
+	}
+	est := map[string]sched.TaskEstimate{
+		"default": {DownBytes: 760_000, UpBytes: 190_000},
+		"lowbw":   {DownBytes: 48_000, UpBytes: 190_000},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rebuild(devs, 15*time.Second, est)
+	}
+	b.ReportMetric(float64(len(devs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mdev/sec")
+}
+
+// BenchmarkSchedAssignUnderChurn measures assignment throughput while
+// the fleet composition churns: every op is a fresh device checking in
+// with random eligibility attributes, feeding one telemetry observation,
+// and requesting a task — with the scheduler's rebuild loop live at a
+// 50ms cadence underneath. This is the serving path the scheduling plane
+// must not slow down.
+func BenchmarkSchedAssignUnderChurn(b *testing.B) {
+	c, err := coord.New(coord.Config{
+		Mode:           coord.ModeAsync,
+		ModelKind:      model.KindA,
+		Seed:           1,
+		TargetUpdates:  1 << 20,
+		Quorum:         1 << 20,
+		MaxInflight:    1 << 30,
+		RoundDeadline:  time.Hour,
+		StalenessAlpha: 0.5,
+		Sched:          sched.Config{RebuildEvery: 50 * time.Millisecond, MinSamples: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	var next atomic.Int64
+	var assigned atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(next.Add(1) * 7919))
+		for pb.Next() {
+			id := next.Add(1)
+			info := coord.DeviceInfo{
+				ID: id, Model: "Pixel-6", Platform: "Android",
+				WiFi: rng.Intn(2) == 0, BatteryHigh: rng.Intn(2) == 0, ModernOS: true,
+				SessionSec: 120, Weight: 40,
+			}
+			c.CheckIn(info)
+			bps := 1e4 * math.Exp(rng.NormFloat64()*2)
+			c.ObserveTelemetry(id, coord.TelemetryObservation{
+				UpBytes: int(bps), UpDur: time.Second,
+				DownBytes: int(bps), DownDur: time.Second,
+			})
+			if _, err := c.RequestTask(id); err == nil {
+				assigned.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if b.N > 100 && assigned.Load() == 0 {
+		b.Fatal("no assignments: the bench measured the denial path")
+	}
+	b.ReportMetric(float64(assigned.Load())/b.Elapsed().Seconds(), "assigns/sec")
+}
+
+// TestCommitDeltaScratchAllocs is the snapshot-GC-pressure satellite's
+// assertion: with several live devices pinning distinct delta bases, the
+// commit pipeline's per-commit allocation stays bounded — the transient
+// per-base diff vectors ride the coordinator's scratch pool instead of
+// allocating a fresh full-dim clone each (which at KindB's 189k params
+// cost ~1.5 MiB per base per commit before the pool; with 4+ pinned
+// bases that pushed a commit past 10 MiB, roughly double today's
+// budget).
+func TestCommitDeltaScratchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation accounting")
+	}
+	c, err := coord.New(coord.Config{
+		Mode:          coord.ModeSync,
+		ModelKind:     model.KindB, // 189k params
+		Seed:          1,
+		TargetUpdates: 1,
+		Quorum:        1,
+		OverCommit:    8, // holders + driver share each round's budget
+		RoundDeadline: time.Hour,
+		QueueDepth:    16,
+		KeepVersions:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	checkin := func(id int64) {
+		c.CheckIn(coord.DeviceInfo{
+			ID: id, Model: "Pixel-6", Platform: "Android",
+			WiFi: true, BatteryHigh: true, ModernOS: true,
+			SessionSec: 3600, Weight: 10,
+		})
+	}
+	driver := int64(99)
+	checkin(driver)
+	delta := tensor.NewVector(189_039)
+
+	// commit drives one full round through the driver device and waits
+	// for the publish.
+	commit := func() {
+		want := c.Version() + 1
+		task, err := c.RequestTask(driver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SubmitUpdate(coord.Submission{
+			DeviceID: driver, RoundID: task.RoundID,
+			BaseVersion: task.BaseVersion, Weight: 1, Delta: delta,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Version() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("commit to v%d never happened", want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Warm-up: pin 4 holder devices at distinct published bases, so
+	// every later commit pre-encodes delta frames for 4+ ring bases.
+	for i := int64(1); i <= 4; i++ {
+		checkin(i)
+		if _, err := c.RequestTask(i); err != nil {
+			t.Fatalf("holder %d: %v", i, err)
+		}
+		commit()
+	}
+
+	const commits = 5
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < commits; i++ {
+		commit()
+	}
+	runtime.ReadMemStats(&m1)
+	perCommit := (m1.TotalAlloc - m0.TotalAlloc) / commits
+	// Measured ~9.5 MiB/commit with the scratch pool (published clone,
+	// serialized snapshot, broadcast blob, encoded delta frames) and
+	// ~15.9 MiB without it — the pinned bases' per-commit diff clones.
+	// The budget sits between the two with ~25% headroom each way.
+	const budget = 12 << 20
+	if perCommit > budget {
+		t.Fatalf("commit pipeline allocates %.2f MiB/commit, budget %.2f MiB — did the delta scratch pool regress?",
+			float64(perCommit)/(1<<20), float64(budget)/(1<<20))
+	}
+	t.Logf("commit pipeline: %.2f MiB allocated per commit (budget %.2f MiB)",
+		float64(perCommit)/(1<<20), float64(budget)/(1<<20))
 }
 
 // -------------------------------------------------------------- ablations

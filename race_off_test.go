@@ -1,0 +1,7 @@
+//go:build !race
+
+package flint_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-accounting assertions skip themselves under it.
+const raceEnabled = false

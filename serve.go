@@ -7,6 +7,7 @@ import (
 	"flint/internal/aggregator"
 	"flint/internal/codec"
 	"flint/internal/coord"
+	"flint/internal/sched"
 	"flint/internal/tensor"
 	"flint/internal/transport"
 )
@@ -107,6 +108,28 @@ const (
 	TransportCohortDefault = transport.CohortDefault
 	TransportCohortLowBW   = transport.CohortLowBW
 )
+
+// Scheduling plane (internal/sched): measured-bandwidth cohorts,
+// deadline-gated assignment, and straggler-tail over-commit, derived
+// from per-device telemetry the serving path observes. See DESIGN.md
+// §10.
+type (
+	// SchedConfig parameterizes a coordinator's scheduling plane
+	// (CoordConfig.Sched).
+	SchedConfig = sched.Config
+	// SchedReport is the scheduler's fleet view in /v1/status.
+	SchedReport = sched.Report
+	// SchedTelemetry is one device's measured serving history (EWMA
+	// link throughput and reported task duration).
+	SchedTelemetry = sched.Telemetry
+	// SchedCohortStats is one cohort's device count and
+	// measured-bandwidth histogram.
+	SchedCohortStats = sched.CohortStats
+)
+
+// SchedBucketLabels names the measured-bandwidth histogram buckets of a
+// SchedCohortStats, aligned with its BandwidthHist slice.
+func SchedBucketLabels() []string { return sched.BucketLabels() }
 
 // ParseTensorScheme converts a CLI/wire string ("raw64", "f32", "q8",
 // "topk[:k]") into a scheme.

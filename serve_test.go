@@ -51,6 +51,14 @@ func TestServingFacade(t *testing.T) {
 		t.Fatalf("wire stats: %d binary devices, %d sent, %d received",
 			rep.BinaryDevices, rep.BytesSent, rep.BytesRecv)
 	}
+	// The scheduling plane is on by default and its report rides status.
+	var sr flint.SchedReport = c.Status().Scheduler
+	if !sr.Enabled {
+		t.Fatalf("scheduler report: %+v", sr)
+	}
+	if labels := flint.SchedBucketLabels(); len(labels) == 0 {
+		t.Fatal("no bandwidth bucket labels")
+	}
 }
 
 // TestTensorFacade round-trips the codec exports.
