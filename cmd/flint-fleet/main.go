@@ -9,6 +9,11 @@
 //
 //	flint-server -mode async -target 64 &
 //	flint-fleet -server http://127.0.0.1:8080 -devices 2000 -rounds 5
+//
+// Against a multi-tenant server, -jobs splits the device budget across
+// tenants — "-jobs ads,messaging=s3cret" drives half the devices at job
+// ads and half at job messaging (authenticating with its token), with
+// disjoint device IDs per job.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"flint/internal/coord"
@@ -37,6 +44,7 @@ func main() {
 	churn := flag.Bool("churn", false, "drive availability from a generated diurnal session trace instead of an always-on loop")
 	traceScale := flag.Float64("trace-scale", 60, "churn: trace seconds replayed per wall second")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
+	jobs := flag.String("jobs", "", "multi-tenant: comma-separated job list (name or name=token); devices split evenly across jobs with disjoint IDs")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
 
@@ -46,7 +54,7 @@ func main() {
 		m.MedianMbps = *bandwidth
 		bw = &m
 	}
-	rep, err := coord.RunFleet(coord.FleetConfig{
+	base := coord.FleetConfig{
 		BaseURL:        *server,
 		Devices:        *devices,
 		Rounds:         *rounds,
@@ -60,7 +68,12 @@ func main() {
 		Churn:          *churn,
 		TraceScale:     *traceScale,
 		Timeout:        *timeout,
-	})
+	}
+	if *jobs != "" {
+		runJobs(base, *jobs, *jsonOut)
+		return
+	}
+	rep, err := coord.RunFleet(base)
 	if rep != nil {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
@@ -100,5 +113,74 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// runJobs drives one fleet per tenant concurrently: the device budget
+// splits evenly (remainder to the first jobs), each job's fleet gets a
+// disjoint device-ID range and its own seed, and tokens ride along from
+// the name=token syntax.
+func runJobs(base coord.FleetConfig, list string, jsonOut bool) {
+	type jobTarget struct {
+		name, token string
+	}
+	var targets []jobTarget
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, token, _ := strings.Cut(part, "=")
+		targets = append(targets, jobTarget{name: name, token: token})
+	}
+	if len(targets) == 0 {
+		log.Fatal("-jobs: no job names given")
+	}
+	per := base.Devices / len(targets)
+	rem := base.Devices % len(targets)
+	var wg sync.WaitGroup
+	reps := make([]*coord.FleetReport, len(targets))
+	errs := make([]error, len(targets))
+	offset := int64(0)
+	for i, t := range targets {
+		cfg := base
+		cfg.Job, cfg.Token = t.name, t.token
+		cfg.Devices = per
+		if i < rem {
+			cfg.Devices++
+		}
+		cfg.IDOffset = offset
+		offset += int64(cfg.Devices)
+		cfg.Seed = base.Seed + int64(i)*1_000_003
+		wg.Add(1)
+		go func(i int, cfg coord.FleetConfig) {
+			defer wg.Done()
+			reps[i], errs[i] = coord.RunFleet(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	failed := false
+	for i, t := range targets {
+		if jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if reps[i] != nil {
+				if err := enc.Encode(struct {
+					Job string `json:"job"`
+					*coord.FleetReport
+				}{Job: t.name, FleetReport: reps[i]}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		} else if reps[i] != nil {
+			fmt.Printf("=== job %s ===\n%s", t.name, reps[i].String())
+		}
+		if errs[i] != nil {
+			failed = true
+			log.Printf("job %s: %v", t.name, errs[i])
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

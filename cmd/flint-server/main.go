@@ -3,12 +3,21 @@
 // Devices check in, receive training tasks, and submit updates over the
 // /v1 JSON API; the server runs sync FedAvg or async FedBuff rounds and
 // publishes model versions. Pair it with cmd/flint-fleet for load.
+//
+// With -jobs, the server hosts multiple FL jobs as tenants of one
+// process: each spec in the JSON file becomes an independent job behind
+// /v1/jobs/<name>/..., the first spec is the default job the bare /v1/*
+// paths alias to, and per-job device quotas and bearer tokens gate
+// admission. Without -jobs a single default job is built from the flags
+// — the classic single-tenant server, now served through the same
+// routing plane.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"flint/internal/availability"
@@ -16,6 +25,7 @@ import (
 	"flint/internal/coord"
 	"flint/internal/model"
 	"flint/internal/sched"
+	"flint/internal/tenant"
 	"flint/internal/transport"
 )
 
@@ -47,6 +57,10 @@ func main() {
 	lowbwUpdateScheme := flag.String("lowbw-update-scheme", "q8", "low-bandwidth cohort: /v1/update delta encoding")
 	lowbwDeltaScheme := flag.String("lowbw-delta-scheme", "topk", "low-bandwidth cohort: delta-broadcast encoding")
 	deltaHistory := flag.Int("delta-history", 8, "published versions retained as delta-broadcast bases (negative disables delta broadcast)")
+	lowbwDeltaHistory := flag.Int("lowbw-delta-history", 0, "low-bandwidth cohort delta window override (0 inherits -delta-history, negative disables deltas for the cohort)")
+	jobsFile := flag.String("jobs", "", "multi-tenant mode: JSON file of job specs (each spec overlays the flag-derived base config)")
+	admin := flag.Bool("admin", false, "enable POST /v1/jobs job registration")
+	maxDevices := flag.Int("max-devices", 0, "default job device quota (0 = unlimited; per-job specs override)")
 	schedOn := flag.Bool("sched", true, "enable the measured scheduling plane (bandwidth cohorts, deadline gate, dynamic over-commit)")
 	schedLowBWMbps := flag.Float64("sched-lowbw-mbps", 1.5, "measured downlink below this maps a device to the lowbw cohort")
 	schedAlpha := flag.Float64("sched-alpha", 0.3, "telemetry EWMA smoothing factor")
@@ -76,9 +90,10 @@ func main() {
 			Delta:  scheme("delta-scheme", *deltaScheme),
 		},
 		LowBW: transport.Policy{
-			Task:   scheme("lowbw-task-scheme", *lowbwTaskScheme),
-			Update: scheme("lowbw-update-scheme", *lowbwUpdateScheme),
-			Delta:  scheme("lowbw-delta-scheme", *lowbwDeltaScheme),
+			Task:       scheme("lowbw-task-scheme", *lowbwTaskScheme),
+			Update:     scheme("lowbw-update-scheme", *lowbwUpdateScheme),
+			Delta:      scheme("lowbw-delta-scheme", *lowbwDeltaScheme),
+			DeltaDepth: *lowbwDeltaHistory,
 		},
 		DeltaHistory: *deltaHistory,
 	}
@@ -104,6 +119,7 @@ func main() {
 		ServerLR:       *serverLR,
 		StalenessAlpha: *alpha,
 		LocalSteps:     *localSteps,
+		MaxDevices:     *maxDevices,
 		Transport:      transportCfg,
 		Sched: sched.Config{
 			Disable:       !*schedOn,
@@ -116,39 +132,73 @@ func main() {
 		StoreDir:       *storeDir,
 		KeepVersions:   *keepVersions,
 	}
-	c, err := coord.New(cfg)
-	if err != nil {
-		log.Fatal(err)
+	// Every server is a tenant registry now: without -jobs it hosts one
+	// flag-derived default job and the bare /v1 API behaves exactly as
+	// before; with -jobs each spec overlays the flag config.
+	specs := []tenant.JobSpec{{Name: *name, MaxDevices: *maxDevices}}
+	if *jobsFile != "" {
+		data, err := os.ReadFile(*jobsFile)
+		if err != nil {
+			log.Fatalf("-jobs: %v", err)
+		}
+		if specs, err = tenant.LoadSpecs(data); err != nil {
+			log.Fatalf("-jobs: %v", err)
+		}
+		if len(specs) == 0 {
+			log.Fatalf("-jobs: %s declares no jobs", *jobsFile)
+		}
 	}
-	defer c.Close()
+	reg := tenant.NewRegistry(cfg)
+	defer reg.Close()
+	for _, sp := range specs {
+		if _, err := reg.Register(sp); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *statusEvery > 0 {
 		go func() {
 			for range time.Tick(*statusEvery) {
-				st := c.Status()
-				log.Printf("v%d round=%d phase=%s collected=%d/%d devices: %d live, %d eligible, %d assigned",
-					st.Version, st.Round.ID, st.Round.Phase, st.Round.Collected, st.Round.Target,
-					st.Devices.Live, st.Devices.Eligible, st.Devices.Assigned)
+				for _, j := range reg.Jobs() {
+					st := j.Coord.Status()
+					log.Printf("[%s] v%d round=%d phase=%s collected=%d/%d devices: %d live, %d eligible, %d assigned",
+						j.Spec.Name, st.Version, st.Round.ID, st.Round.Phase, st.Round.Collected, st.Round.Target,
+						st.Devices.Live, st.Devices.Eligible, st.Devices.Assigned)
+				}
 			}
 		}()
 	}
 
-	eff := c.Config()
-	fmt.Printf("flint-server: %s mode, model %s (%d params), target %d, quorum %d, deadline %s\n",
-		eff.Mode, eff.ModelKind, mustParams(eff.ModelKind, eff.Seed),
-		eff.TargetUpdates, eff.Quorum, eff.RoundDeadline)
-	tr := eff.Transport
-	fmt.Printf("wire: default cohort %s broadcast / %s uplink / %s delta; lowbw cohort %s / %s / %s; delta history %d\n",
-		tr.Default.Task, tr.Default.Update, tr.Default.Delta,
-		tr.LowBW.Task, tr.LowBW.Update, tr.LowBW.Delta, tr.DeltaHistory)
-	if sc := eff.Sched; !sc.Disable {
-		fmt.Printf("sched: lowbw < %.2f Mbps measured downlink, deadline gate (sync), over-commit ≤ %.1fx, rebuild every %s\n",
-			sc.LowBWBps*8/1e6, sc.MaxOverCommit, sc.RebuildEvery)
+	for _, j := range reg.Jobs() {
+		eff := j.Coord.Config()
+		guard := "open"
+		switch {
+		case j.Spec.Token != "" && eff.MaxDevices > 0:
+			guard = fmt.Sprintf("token auth, quota %d", eff.MaxDevices)
+		case j.Spec.Token != "":
+			guard = "token auth"
+		case eff.MaxDevices > 0:
+			guard = fmt.Sprintf("quota %d", eff.MaxDevices)
+		}
+		fmt.Printf("job %s: %s mode, model %s (%d params), target %d, quorum %d, deadline %s (%s)\n",
+			j.Spec.Name, eff.Mode, eff.ModelKind, mustParams(eff.ModelKind, eff.Seed),
+			eff.TargetUpdates, eff.Quorum, eff.RoundDeadline, guard)
+		tr := eff.Transport
+		fmt.Printf("  wire: default cohort %s/%s/%s (delta depth %d); lowbw %s/%s/%s (delta depth %d)\n",
+			tr.Default.Task, tr.Default.Update, tr.Default.Delta, tr.DepthFor(transport.CohortDefault),
+			tr.LowBW.Task, tr.LowBW.Update, tr.LowBW.Delta, tr.DepthFor(transport.CohortLowBW))
+	}
+	def := reg.Default()
+	if sc := def.Coord.Config().Sched; !sc.Disable {
+		fmt.Printf("sched: lowbw < %.2f Mbps measured downlink, deadline gate (sync), over-commit ≤ %.1fx, rebuild every %s, telemetry TTL %s\n",
+			sc.LowBWBps*8/1e6, sc.MaxOverCommit, sc.RebuildEvery, sc.TelemetryTTL)
 	} else {
 		fmt.Println("sched: disabled (radio-label cohorts, static over-commit)")
 	}
-	fmt.Printf("listening on %s (POST /v1/checkin, GET /v1/task, POST /v1/update, GET /v1/status)\n", *addr)
-	log.Fatal(coord.NewServer(c).ListenAndServe(*addr))
+	fmt.Printf("listening on %s (/v1/* → default job %q, /v1/jobs/<job>/*, GET /v1/status rollup; admin registration %v)\n",
+		*addr, def.Spec.Name, *admin)
+	srv := tenant.NewServer(reg, *admin)
+	log.Fatal(tenant.ListenAndServe(*addr, srv))
 }
 
 func mustParams(kind model.Kind, seed int64) int {

@@ -91,6 +91,12 @@ type Config struct {
 	// DeviceTTL is how long after its last check-in/heartbeat a device
 	// still counts as connected.
 	DeviceTTL time.Duration
+	// MaxDevices caps how many distinct devices this coordinator admits
+	// (0 = unlimited). Over-quota check-ins are rejected with
+	// ErrOverQuota semantics (HTTP 429) until sweeps free slots — the
+	// per-job quota of the multi-tenant plane, so one hungry job can't
+	// absorb the whole fleet.
+	MaxDevices int
 	// Criteria gates task assignment (§3.2 participation filtering).
 	Criteria availability.Criteria
 

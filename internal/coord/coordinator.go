@@ -101,8 +101,13 @@ type Submission struct {
 type CheckInResult struct {
 	New      bool
 	Eligible bool
-	Version  int
-	RoundID  uint64
+	// OverQuota marks a rejected check-in: the device is new and the
+	// job's MaxDevices quota is full. The device was not registered;
+	// transports answer 429 and the device should retry later (sweeps
+	// free slots as stale devices age out).
+	OverQuota bool
+	Version   int
+	RoundID   uint64
 	// Cohort and Policy report the transport assignment negotiated from
 	// the device's advertised platform/connectivity and capability
 	// list, so clients learn their schemes up front.
@@ -304,21 +309,38 @@ func New(cfg Config) (*Coordinator, error) {
 			return nil, err
 		}
 		bs.setBlob(cfg.Transport.Default.Task, blob)
-		if cfg.Transport.DeltaHistory > 0 {
+		if cfg.Transport.RingDepth() > 0 {
 			bs.ring = []ringEntry{{version: v, params: bs.published}}
 		}
 	}
-	// Pre-register the wire-stat and pipeline counters so /v1/status
-	// always carries them (a dashboard shouldn't have to guess whether a
-	// zero is "no deltas yet" or "too old a server").
+	// Pre-register every serving counter so a status page always carries
+	// the full zeroed key set before first traffic (a dashboard shouldn't
+	// have to guess whether a missing key is "no deltas yet" or "too old
+	// a server") — and, in the multi-tenant plane, so a freshly
+	// registered job's /v1/jobs/<job>/status looks identical in shape to
+	// a busy one's.
 	for _, name := range []string{
+		"checkin_total", "checkin_eligible", "checkin_rejected_quota",
+		"checkin_unknown_scheme", "heartbeat_total",
+		"task_assigned", "task_denied_round", "task_denied_device",
+		"task_denied_deadline", "task_probe_admitted",
+		"task_sent_binary", "task_sent_json", "task_sent_delta",
+		"task_unknown_scheme", "auth_rejected_token",
 		"broadcast_bytes_full", "broadcast_bytes_delta",
 		"delta_cache_hits", "delta_cache_misses", "delta_base_aged",
-		"delta_pre_encoded", "publish_pending", "persist_error",
-		"persist_retry", "persist_barrier",
-		"task_sent_delta", "transport_fallback_f32", "update_rejected_oversize",
-		"checkin_unknown_scheme", "task_unknown_scheme",
-		"task_denied_deadline", "task_probe_admitted", "sched_rebuilds",
+		"delta_pre_encoded",
+		"update_enqueued", "update_accepted", "update_recv_binary",
+		"update_recv_json", "update_rejected_dim",
+		"update_rejected_nonfinite", "update_rejected_busy",
+		"update_rejected_unassigned", "update_rejected_future",
+		"update_rejected_stale", "update_rejected_late",
+		"update_rejected_oversize", "updates_aggregated",
+		"rounds_committed", "rounds_abandoned", "round_fsm_error",
+		"round_aggregate_error", "round_aggregate_nonfinite",
+		"round_publish_error",
+		"publish_pending", "persist_error", "persist_retry",
+		"persist_barrier", "versions_pruned", "devices_swept",
+		"transport_fallback_f32", "sched_rebuilds",
 		"task_cohort_" + transport.CohortDefault, "task_cohort_" + transport.CohortLowBW,
 	} {
 		c.counters.Counter(name)
@@ -379,8 +401,12 @@ func (c *Coordinator) Version() int { return int(c.version.Load()) }
 // one shard lock, no coordinator lock.
 func (c *Coordinator) CheckIn(info DeviceInfo) CheckInResult {
 	now := c.cfg.Clock()
-	isNew := c.reg.CheckIn(info, now)
+	isNew, admitted := c.reg.TryCheckIn(info, now, c.cfg.MaxDevices)
 	c.counters.Counter("checkin_total").Inc()
+	if !admitted {
+		c.counters.Counter("checkin_rejected_quota").Inc()
+		return CheckInResult{New: true, OverQuota: true}
+	}
 	eligible := c.cfg.Criteria.Admit(info.session())
 	if eligible {
 		c.counters.Counter("checkin_eligible").Inc()
@@ -433,13 +459,15 @@ func (c *Coordinator) taskEstimate(dec transport.Decision, q TaskQuery) sched.Ta
 	down := dec.Policy.Task
 	// The base version is client-controlled: only a base the serving
 	// path could actually answer with a delta (1..current, within the
-	// ring window) earns the cheap delta costing — a bogus future base
-	// would otherwise let a gated straggler buy admission with a ~100x
-	// underestimated download and then be served the full blob anyway.
-	if cur := c.version.Load(); q.BaseVersion > 0 && int64(q.BaseVersion) <= cur &&
-		c.cfg.Transport.DeltaHistory > 0 &&
-		cur-int64(q.BaseVersion) < int64(c.cfg.Transport.DeltaHistory) {
-		down = dec.Policy.Delta
+	// cohort's depth window) earns the cheap delta costing — a bogus
+	// future base would otherwise let a gated straggler buy admission
+	// with a ~100x underestimated download and then be served the full
+	// blob anyway.
+	if depth := c.cfg.Transport.DepthFor(dec.Cohort); depth > 0 {
+		if cur := c.version.Load(); q.BaseVersion > 0 && int64(q.BaseVersion) <= cur &&
+			cur-int64(q.BaseVersion) < int64(depth) {
+			down = dec.Policy.Delta
+		}
 	}
 	return sched.TaskEstimate{
 		DownBytes: sched.WireSizeEstimate(down, c.dim),
@@ -451,7 +479,7 @@ func (c *Coordinator) taskEstimate(dec transport.Decision, q TaskQuery) sched.Ta
 // uplink transfer, reported download timing and training duration) into
 // the device's telemetry EWMAs. O(1), one registry shard lock.
 func (c *Coordinator) ObserveTelemetry(id int64, o TelemetryObservation) {
-	c.reg.Observe(id, o, c.cfg.Sched.Alpha)
+	c.reg.Observe(id, o, c.cfg.Sched.Alpha, c.cfg.Clock())
 }
 
 // Scheduler exposes the scheduling plane (diagnostics, tests, benches).
@@ -477,7 +505,7 @@ func (c *Coordinator) rebuildSched(now time.Time) {
 		}
 		ests[cohort] = e
 	}
-	c.sched.Rebuild(c.reg.SchedSamples(c.cfg.Criteria, now), c.cfg.RoundDeadline, ests)
+	c.sched.Rebuild(c.reg.SchedSamples(c.cfg.Criteria, now, c.cfg.Sched.TelemetryTTL), c.cfg.RoundDeadline, ests)
 	c.counters.Counter("sched_rebuilds").Inc()
 }
 
@@ -519,6 +547,11 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 		// Identity errors stay stable regardless of round budget.
 		return Task{}, ErrUnknownDevice
 	}
+	// Age the telemetry before the gate reads it: a device idle past the
+	// TTL loses its earned sample counts, so a stale "too slow" (or "fast
+	// enough") verdict degrades to the unmeasured optimistic default
+	// instead of pinning the device on week-old EWMAs.
+	tel = tel.Decayed(now, c.cfg.Sched.TelemetryTTL)
 	if !r.assignable(now) {
 		c.counters.Counter("task_denied_round").Inc()
 		return Task{}, ErrNoTask
@@ -583,7 +616,13 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 		// don't pay a blob encode they will never read.
 		return t, nil
 	}
-	if q.BaseVersion > 0 && q.BaseVersion <= bs.version && c.cfg.Transport.DeltaHistory > 0 {
+	// Delta admissibility is the requesting cohort's depth window, not
+	// the ring's: the ring is sized to the deepest cohort, so a shallow
+	// cohort's device whose base is still physically in the ring but past
+	// its own window takes the full broadcast like any aged base.
+	depth := c.cfg.Transport.DepthFor(t.Cohort)
+	if q.BaseVersion > 0 && q.BaseVersion <= bs.version && depth > 0 &&
+		bs.version-q.BaseVersion < depth {
 		// An up-to-date device gets a one-entry sparse "no change" frame
 		// (~30 bytes) — but only when it can decode topk; a constrained
 		// client keeps its negotiated delta scheme, never one outside
@@ -606,6 +645,10 @@ func (c *Coordinator) RequestTaskWith(deviceID int64, q TaskQuery) (Task, error)
 		}
 		// The base aged out of the ring (or negotiation disabled
 		// deltas): fall back to the full broadcast.
+		c.counters.Counter("delta_base_aged").Inc()
+	} else if q.BaseVersion > 0 && q.BaseVersion <= bs.version {
+		// A real base past the cohort's window (or deltas disabled):
+		// the same aged-base signal, rejected before the ring lookup.
 		c.counters.Counter("delta_base_aged").Inc()
 	}
 	blob, err := bs.fullBlob(dec.Policy.Task)
@@ -996,10 +1039,11 @@ func (c *Coordinator) buildBroadcast(prev *broadcastState, v int, now time.Time)
 		return nil, err
 	}
 	bs.setBlob(c.cfg.Transport.Default.Task, blob)
-	if k := c.cfg.Transport.DeltaHistory; k > 0 {
-		// The ring shares the published snapshots (read-only); keep the
-		// newest K entries so delta bases age out instead of accumulating
-		// a full model per commit forever.
+	if k := c.cfg.Transport.RingDepth(); k > 0 {
+		// The ring shares the published snapshots (read-only), sized to
+		// the deepest cohort's window; keep the newest K entries so delta
+		// bases age out instead of accumulating a full model per commit
+		// forever.
 		ring := make([]ringEntry, 0, k)
 		if len(prev.ring) > 0 {
 			start := 0

@@ -33,6 +33,16 @@ import (
 type FleetConfig struct {
 	// BaseURL is the server root, e.g. http://127.0.0.1:8080.
 	BaseURL string
+	// Job routes the fleet at one tenant of a multi-job server: requests
+	// go to /v1/jobs/<Job>/... instead of the bare /v1 default-job alias.
+	Job string
+	// Token is the job's bearer token, sent as Authorization: Bearer on
+	// every request when non-empty.
+	Token string
+	// IDOffset shifts the fleet's device IDs (1..Devices become
+	// IDOffset+1..IDOffset+Devices) so concurrent fleets driving
+	// different jobs of one server use disjoint identities.
+	IDOffset int64
 	// Devices is the simulated fleet size.
 	Devices int
 	// Rounds is how many committed rounds to drive before stopping.
@@ -135,6 +145,22 @@ func (c FleetConfig) withDefaults() (FleetConfig, error) {
 		c.Client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
 	}
 	return c, nil
+}
+
+// api builds a /v1 endpoint URL, routed through the job's path prefix
+// when the fleet targets a named tenant.
+func (c FleetConfig) api(path string) string {
+	if c.Job == "" {
+		return c.BaseURL + "/v1" + path
+	}
+	return c.BaseURL + "/v1/jobs/" + c.Job + path
+}
+
+// authorize attaches the job's bearer token to a request.
+func (c FleetConfig) authorize(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 }
 
 // LatencySummary is one operation's client-observed latency distribution in
@@ -338,7 +364,7 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 	for i, s := range sampled {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
 		devs[i] = &fleetDevice{
-			id:       int64(i + 1),
+			id:       cfg.IDOffset + int64(i+1),
 			model:    s.Model,
 			platform: string(s.Platform),
 			profile:  s.Profile,
@@ -635,7 +661,7 @@ func (d *fleetDevice) checkIn(ctx context.Context, cfg FleetConfig) (bool, error
 	}
 	var res CheckInResponse
 	t0 := time.Now()
-	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/checkin", req, &res, d)
+	code, err := doJSON(ctx, cfg, http.MethodPost, cfg.api("/checkin"), req, &res, d)
 	if err != nil {
 		return false, err
 	}
@@ -649,8 +675,8 @@ func (d *fleetDevice) fetchTask(ctx context.Context, cfg FleetConfig) (*TaskResp
 	}
 	var task TaskResponse
 	t0 := time.Now()
-	code, err := doJSON(ctx, cfg.Client, http.MethodGet,
-		fmt.Sprintf("%s/v1/task?device=%d", cfg.BaseURL, d.id), nil, &task, d)
+	code, err := doJSON(ctx, cfg, http.MethodGet,
+		fmt.Sprintf("%s?device=%d", cfg.api("/task"), d.id), nil, &task, d)
 	if err != nil {
 		return nil, err
 	}
@@ -670,10 +696,11 @@ func (d *fleetDevice) fetchTask(ctx context.Context, cfg FleetConfig) (*TaskResp
 // devices interoperate both ways.
 func (d *fleetDevice) fetchTaskBinary(ctx context.Context, cfg FleetConfig) (*TaskResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		fmt.Sprintf("%s/v1/task?device=%d", cfg.BaseURL, d.id), nil)
+		fmt.Sprintf("%s?device=%d", cfg.api("/task"), d.id), nil)
 	if err != nil {
 		return nil, err
 	}
+	cfg.authorize(req)
 	req.Header.Set("Accept", ContentTypeTensor)
 	if !d.legacy {
 		req.Header.Set(hdrAcceptSchemes, transport.FormatAccept(transport.AllKinds()))
@@ -782,7 +809,7 @@ func (d *fleetDevice) submit(ctx context.Context, cfg FleetConfig, task *TaskRes
 	}
 	var res UpdateResponse
 	t0 := time.Now()
-	code, err := doJSON(ctx, cfg.Client, http.MethodPost, cfg.BaseURL+"/v1/update", req, &res, d)
+	code, err := doJSON(ctx, cfg, http.MethodPost, cfg.api("/update"), req, &res, d)
 	if err != nil {
 		return false, err
 	}
@@ -808,10 +835,11 @@ func (d *fleetDevice) submitBinary(ctx context.Context, cfg FleetConfig, task *T
 		// the simulated link, not loopback.
 		upBody = &throttledReader{r: upBody, bps: d.upBps, ctx: ctx}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/update", upBody)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.api("/update"), upBody)
 	if err != nil {
 		return false, err
 	}
+	cfg.authorize(req)
 	req.Header.Set("Content-Type", ContentTypeTensor)
 	req.Header.Set(hdrDevice, strconv.FormatInt(d.id, 10))
 	req.Header.Set(hdrRound, strconv.FormatUint(task.RoundID, 10))
@@ -850,7 +878,7 @@ func (d *fleetDevice) submitBinary(ctx context.Context, cfg FleetConfig, task *T
 
 func fetchStatus(ctx context.Context, cfg FleetConfig) (*StatusReport, error) {
 	var st StatusReport
-	code, err := doJSON(ctx, cfg.Client, http.MethodGet, cfg.BaseURL+"/v1/status", nil, &st, nil)
+	code, err := doJSON(ctx, cfg, http.MethodGet, cfg.api("/status"), nil, &st, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -865,7 +893,7 @@ func fetchStatus(ctx context.Context, cfg FleetConfig) (*StatusReport, error) {
 // outcomes (204 no task, 409 late, 503 shed) without treating them as
 // transport errors. A non-nil dev gets the request/response body sizes
 // added to its wire-traffic counters.
-func doJSON(ctx context.Context, client *http.Client, method, url string, in, out any, dev *fleetDevice) (int, error) {
+func doJSON(ctx context.Context, cfg FleetConfig, method, url string, in, out any, dev *fleetDevice) (int, error) {
 	var body io.Reader
 	var sent int64
 	if in != nil {
@@ -880,10 +908,11 @@ func doJSON(ctx context.Context, client *http.Client, method, url string, in, ou
 	if err != nil {
 		return 0, err
 	}
+	cfg.authorize(req)
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := client.Do(req)
+	resp, err := cfg.Client.Do(req)
 	if err != nil {
 		return 0, err
 	}

@@ -888,3 +888,115 @@ func TestFleetTransportMix(t *testing.T) {
 		})
 	}
 }
+
+// TestPerCohortDeltaWindow pins that delta admissibility is the
+// requesting cohort's depth window, not the ring's: the ring is sized to
+// the deepest cohort, so a default-cohort device whose base is still
+// physically retained but past its own (shallower) window takes the full
+// broadcast — counted as an aged base — while a low-bandwidth device
+// with the very same base still rides a delta frame.
+func TestPerCohortDeltaWindow(t *testing.T) {
+	c, err := New(Config{
+		Mode:           ModeAsync,
+		ModelKind:      model.KindA,
+		Seed:           1,
+		TargetUpdates:  1,
+		Quorum:         1,
+		MaxInflight:    1 << 30,
+		RoundDeadline:  time.Minute,
+		StalenessAlpha: 0.5,
+		QueueDepth:     64,
+		KeepVersions:   -1,
+		Transport: transport.Config{
+			Default:      transport.Policy{Task: codec.RawF64, Update: codec.RawF64, Delta: codec.RawF64, DeltaDepth: 2},
+			LowBW:        transport.Policy{Task: codec.RawF64, Update: codec.RawF64, Delta: codec.RawF64, DeltaDepth: 4},
+			DeltaHistory: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	info := func(id int64, wifi bool) DeviceInfo {
+		return DeviceInfo{ID: id, Model: "Pixel-6", Platform: "Android",
+			WiFi: wifi, BatteryHigh: true, ModernOS: true, SessionSec: 3600, Weight: 1}
+	}
+	// Device 1 commits three rounds: v1 -> v4, all retained (ring 4).
+	c.CheckIn(info(1, true))
+	for c.Version() < 4 {
+		task, err := c.RequestTask(1)
+		if err != nil {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		delta := tensor.NewVector(task.Dim)
+		delta.Fill(0.001)
+		if err := c.SubmitUpdate(Submission{DeviceID: 1, RoundID: task.RoundID,
+			BaseVersion: task.BaseVersion, Weight: 1, Delta: delta}); err != nil {
+			t.Fatal(err)
+		}
+		base := task.BaseVersion
+		eventually(t, 10*time.Second, func() bool { return c.Version() > base },
+			"commit never landed")
+	}
+
+	// Default cohort (WiFi), base v1: 3 versions behind, inside the ring
+	// (depth 4) but past the cohort window (2) -> full broadcast.
+	c.CheckIn(info(2, true))
+	aged := c.Counters().Counter("delta_base_aged").Value()
+	task, err := c.RequestTaskWith(2, TaskQuery{Binary: true, BaseVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Cohort != transport.CohortDefault {
+		t.Fatalf("device 2 cohort %q", task.Cohort)
+	}
+	if task.DeltaBase != 0 {
+		t.Fatalf("shallow cohort got a delta against base %d, want full broadcast", task.DeltaBase)
+	}
+	if got := c.Counters().Counter("delta_base_aged").Value(); got != aged+1 {
+		t.Fatalf("delta_base_aged = %d, want %d (past-window base not counted)", got, aged+1)
+	}
+
+	// Same base from the low-bandwidth cohort (cellular): within its
+	// deeper window -> delta frame against v1.
+	c.CheckIn(info(3, false))
+	task, err = c.RequestTaskWith(3, TaskQuery{Binary: true, BaseVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Cohort != transport.CohortLowBW {
+		t.Fatalf("device 3 cohort %q", task.Cohort)
+	}
+	if task.DeltaBase != 1 {
+		t.Fatalf("deep cohort DeltaBase = %d, want 1", task.DeltaBase)
+	}
+	m, err := c.Store().Get(c.Config().ModelName, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, _, err := codec.ApplyDelta(m.Params(), task.EncodedParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := c.Store().Get(c.Config().ModelName, task.BaseVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := rebuilt.Clone()
+	diff.Sub(cur.Params())
+	if diff.Norm2() > 1e-9 {
+		t.Fatalf("lowbw delta reconstruction off by %g", diff.Norm2())
+	}
+
+	// A default-cohort base inside the shallow window still deltas.
+	c.CheckIn(info(4, true))
+	task, err = c.RequestTaskWith(4, TaskQuery{Binary: true, BaseVersion: c.Version() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.DeltaBase == 0 {
+		t.Fatal("in-window default-cohort base did not delta")
+	}
+}

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flint/internal/availability"
@@ -81,6 +82,10 @@ type regShard struct {
 type Registry struct {
 	shards []regShard
 	ttl    time.Duration
+	// known counts devices currently in the registry (inserted and not
+	// yet swept) — the O(1) input to quota admission, maintained
+	// atomically because inserts race across shards.
+	known atomic.Int64
 }
 
 // NewRegistry creates a registry with the given stripe count and liveness
@@ -106,17 +111,38 @@ func (r *Registry) shard(id int64) *regShard {
 // CheckIn upserts a device's state and stamps it live. It returns true if
 // the device was new.
 func (r *Registry) CheckIn(info DeviceInfo, now time.Time) bool {
+	isNew, _ := r.TryCheckIn(info, now, 0)
+	return isNew
+}
+
+// TryCheckIn is CheckIn with quota admission: when quota > 0, a device
+// not already in the registry is admitted only while the known-device
+// count stays within quota, and ok reports the verdict (re-check-ins of
+// known devices always succeed — the quota bounds distinct devices, not
+// requests). The count is reserved with an atomic add before the insert
+// and rolled back on rejection, so concurrent check-ins across shards
+// can't overshoot the cap; quota <= 0 disables the check.
+func (r *Registry) TryCheckIn(info DeviceInfo, now time.Time, quota int) (isNew, ok bool) {
 	s := r.shard(info.ID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	d, ok := s.devs[info.ID]
-	if !ok {
-		s.devs[info.ID] = &deviceState{info: info, lastSeen: now}
-		return true
+	if d, exists := s.devs[info.ID]; exists {
+		d.info = info
+		d.lastSeen = now
+		return false, true
 	}
-	d.info = info
-	d.lastSeen = now
-	return false
+	if n := r.known.Add(1); quota > 0 && n > int64(quota) {
+		r.known.Add(-1)
+		return true, false
+	}
+	s.devs[info.ID] = &deviceState{info: info, lastSeen: now}
+	return true, true
+}
+
+// Known returns the current known-device count (inserted and not yet
+// swept) — the same O(1) figure quota admission checks against.
+func (r *Registry) Known() int {
+	return int(r.known.Load())
 }
 
 // Heartbeat refreshes a device's liveness without changing its reported
@@ -174,8 +200,9 @@ type TelemetryObservation struct {
 }
 
 // Observe folds one serving observation into the device's telemetry
-// EWMAs. O(1), one shard lock; unknown devices are ignored.
-func (r *Registry) Observe(id int64, o TelemetryObservation, alpha float64) {
+// EWMAs and stamps the decay clock. O(1), one shard lock; unknown
+// devices are ignored.
+func (r *Registry) Observe(id int64, o TelemetryObservation, alpha float64, now time.Time) {
 	s := r.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -183,6 +210,7 @@ func (r *Registry) Observe(id int64, o TelemetryObservation, alpha float64) {
 	if !ok {
 		return
 	}
+	d.tel.LastSample = now
 	if o.UpBytes > 0 {
 		d.tel.ObserveUplink(o.UpBytes, o.UpDur, alpha)
 	}
@@ -215,10 +243,12 @@ func (r *Registry) NoteGateDenied(id int64) int {
 
 // SchedSamples snapshots every live device's telemetry for the
 // scheduler's fleet-view rebuild, stamping each with its radio label and
-// current criteria eligibility. O(fleet): it scans every shard, so it
-// belongs in the maintenance loop (once per rebuild period), never on a
-// serving path.
-func (r *Registry) SchedSamples(c availability.Criteria, now time.Time) []sched.DeviceSample {
+// current criteria eligibility. Each sample is aged through
+// Telemetry.Decayed with ttl, so a device idle past the TTL re-enters
+// the cohort map as unmeasured instead of pinned to a stale verdict.
+// O(fleet): it scans every shard, so it belongs in the maintenance loop
+// (once per rebuild period), never on a serving path.
+func (r *Registry) SchedSamples(c availability.Criteria, now time.Time, ttl time.Duration) []sched.DeviceSample {
 	var out []sched.DeviceSample
 	for i := range r.shards {
 		s := &r.shards[i]
@@ -231,7 +261,7 @@ func (r *Registry) SchedSamples(c availability.Criteria, now time.Time) []sched.
 				ID:       id,
 				WiFi:     d.info.WiFi,
 				Eligible: c.Admit(d.info.session()),
-				Tel:      d.tel,
+				Tel:      d.tel.Decayed(now, ttl),
 			})
 		}
 		s.mu.Unlock()
@@ -395,6 +425,9 @@ func (r *Registry) Sweep(keep time.Duration, now time.Time) int {
 			}
 		}
 		s.mu.Unlock()
+	}
+	if n > 0 {
+		r.known.Add(int64(-n))
 	}
 	return n
 }

@@ -210,6 +210,14 @@ func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
 		info.Accept = kinds
 	}
 	res := s.c.CheckIn(info)
+	if res.OverQuota {
+		// The job's device quota is full: the device was not registered.
+		// 429 + Retry-After is the contract — sweeps free slots as stale
+		// devices age out, so later attempts can succeed.
+		w.Header().Set("Retry-After", "60")
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("device quota full"))
+		return
+	}
 	writeJSON(w, http.StatusOK, CheckInResponse{
 		New:          res.New,
 		Eligible:     res.Eligible,

@@ -81,6 +81,14 @@ type Config struct {
 	// cannot triple every round's assignment budget. Default 8;
 	// negative means no floor.
 	MinCensus int
+	// TelemetryTTL ages idle devices' telemetry toward "unmeasured":
+	// every full TTL without a fresh observation halves each EWMA's
+	// earned sample count (Telemetry.Decayed), so a device idle past a
+	// few TTLs falls below MinSamples and degrades to the unmeasured
+	// fallback instead of being pinned to a stale bandwidth verdict —
+	// the cohort map's analogue of the deadline gate's ProbeEvery
+	// re-measurement. Default 10m; negative disables decay.
+	TelemetryTTL time.Duration
 	// ProbeEvery is the consecutive deadline-gate denial streak after
 	// which a device's requests are admitted as re-measurement probes
 	// (until fresh telemetry resets the streak). Telemetry is only
@@ -130,6 +138,9 @@ func (c Config) WithDefaults() (Config, error) {
 	}
 	if c.ProbeEvery == 0 {
 		c.ProbeEvery = 8
+	}
+	if c.TelemetryTTL == 0 {
+		c.TelemetryTTL = 10 * time.Minute
 	}
 	if c.RebuildEvery <= 0 {
 		c.RebuildEvery = 2 * time.Second

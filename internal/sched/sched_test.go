@@ -282,3 +282,59 @@ func TestWireSizeEstimate(t *testing.T) {
 		}
 	}
 }
+
+func TestTelemetryDecay(t *testing.T) {
+	now := time.Unix(1000, 0)
+	ttl := 10 * time.Minute
+	tel := Telemetry{
+		UpBps: 5e5, DownBps: 2e5, TaskSec: 3,
+		UpSamples: 8, DownSamples: 4, TaskSamples: 2,
+		LastSample: now,
+	}
+	// Fresh telemetry (idle < ttl) passes through untouched.
+	if got := tel.Decayed(now.Add(ttl-time.Second), ttl); got != tel {
+		t.Fatalf("fresh telemetry decayed: %+v", got)
+	}
+	// ttl <= 0 disables decay entirely.
+	if got := tel.Decayed(now.Add(100*ttl), 0); got != tel {
+		t.Fatalf("ttl=0 decayed: %+v", got)
+	}
+	// Never-observed telemetry has no decay clock.
+	if got := (Telemetry{UpSamples: 3}).Decayed(now, ttl); got.UpSamples != 3 {
+		t.Fatalf("zero LastSample decayed: %+v", got)
+	}
+	// One elapsed ttl halves every sample count; values are kept so a
+	// returning device blends against its old mean, not a cold seed.
+	got := tel.Decayed(now.Add(ttl), ttl)
+	if got.UpSamples != 4 || got.DownSamples != 2 || got.TaskSamples != 1 {
+		t.Fatalf("one-ttl decay counts: %+v", got)
+	}
+	if got.UpBps != tel.UpBps || got.DownBps != tel.DownBps || got.TaskSec != tel.TaskSec {
+		t.Fatalf("decay touched EWMA values: %+v", got)
+	}
+	// Three ttls: three halvings (8 -> 1, 4 -> 0, 2 -> 0).
+	got = tel.Decayed(now.Add(3*ttl), ttl)
+	if got.UpSamples != 1 || got.DownSamples != 0 || got.TaskSamples != 0 {
+		t.Fatalf("three-ttl decay counts: %+v", got)
+	}
+	// A device idle for eons zeroes out without shift-width UB.
+	got = tel.Decayed(now.Add(1e6*ttl), ttl)
+	if got.UpSamples != 0 || got.DownSamples != 0 || got.TaskSamples != 0 {
+		t.Fatalf("long-idle decay counts: %+v", got)
+	}
+	// Decay rehabilitates through the trust gate: a decayed device no
+	// longer clears MinSamples, so the scheduler treats it as unmeasured.
+	if min := 2; tel.UpSamples >= min && tel.Decayed(now.Add(3*ttl), ttl).UpSamples >= min {
+		t.Fatal("decay never dropped the device below MinSamples")
+	}
+}
+
+func TestTelemetryTTLDefault(t *testing.T) {
+	cfg, err := Config{}.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TelemetryTTL != 10*time.Minute {
+		t.Fatalf("TelemetryTTL default = %s, want 10m", cfg.TelemetryTTL)
+	}
+}

@@ -18,6 +18,9 @@ type Telemetry struct {
 	TaskSec float64
 	// Sample counts gate how much trust each EWMA has earned.
 	UpSamples, DownSamples, TaskSamples int
+	// LastSample is when the most recent observation (any direction)
+	// landed — the decay clock. Zero means never observed.
+	LastSample time.Time
 }
 
 // minTransfer floors an observed transfer duration: loopback and
@@ -84,4 +87,37 @@ func ewma(prev, x, alpha float64, samples int) float64 {
 		return x
 	}
 	return alpha*x + (1-alpha)*prev
+}
+
+// maxDecaySteps caps the decay shift; 32 halvings zero any realistic
+// sample count, and an unbounded shift of a huge idle/ttl ratio would be
+// undefined behavior territory for the compiler's shift lowering.
+const maxDecaySteps = 32
+
+// Decayed ages the telemetry toward "unmeasured": every full ttl elapsed
+// since the last observation halves each EWMA's earned sample count (the
+// trust gates key on counts, not values). A device idle for a week stops
+// clearing MinSamples, so its stale bandwidth verdict no longer pins its
+// cohort or its deadline-gate estimate — it degrades to the unmeasured
+// fallback (radio label, optimistic admission) exactly like a device
+// never observed, and re-earns trust from fresh transfers when it
+// returns. The EWMA values themselves are kept: the first post-idle
+// observation still blends against the old mean instead of a cold seed.
+// ttl <= 0 disables decay; the zero Telemetry passes through unchanged.
+func (t Telemetry) Decayed(now time.Time, ttl time.Duration) Telemetry {
+	if ttl <= 0 || t.LastSample.IsZero() {
+		return t
+	}
+	idle := now.Sub(t.LastSample)
+	if idle < ttl {
+		return t
+	}
+	steps := idle / ttl
+	if steps > maxDecaySteps {
+		steps = maxDecaySteps
+	}
+	t.UpSamples >>= uint(steps)
+	t.DownSamples >>= uint(steps)
+	t.TaskSamples >>= uint(steps)
+	return t
 }

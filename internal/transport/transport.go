@@ -48,6 +48,14 @@ type Policy struct {
 	// Delta encodes the downlink difference served when the device's
 	// last-seen version is still in the coordinator's version ring.
 	Delta codec.Scheme
+	// DeltaDepth is this cohort's delta-history window: how many
+	// versions behind the published model a device's base may lag and
+	// still be served a delta frame. Slow cohorts fetch less often, so
+	// their bases age more between tasks — a deeper window keeps them on
+	// cheap deltas where the global default would force full broadcasts.
+	// 0 inherits Config.DeltaHistory; negative disables delta broadcast
+	// for the cohort alone.
+	DeltaDepth int
 }
 
 // Validate rejects policies holding invalid schemes.
@@ -75,7 +83,9 @@ type Config struct {
 	LowBW Policy
 	// DeltaHistory is K, how many recent published versions the
 	// coordinator retains as delta bases (0 = default 8; negative
-	// disables delta broadcast entirely).
+	// disables delta broadcast entirely). Cohorts can override their own
+	// window via Policy.DeltaDepth; the coordinator's version ring is
+	// sized to the deepest cohort (RingDepth).
 	DeltaHistory int
 }
 
@@ -115,13 +125,47 @@ func (c Config) WithDefaults() (Config, error) {
 	return c, nil
 }
 
+// DepthFor returns the named cohort's effective delta-history window:
+// the cohort's DeltaDepth override when set, else the global
+// DeltaHistory, else DefaultDeltaHistory (mirroring WithDefaults, so an
+// un-defaulted zero config still reads as delta-enabled). Never
+// negative — a disabled window reports 0.
+func (c Config) DepthFor(cohort string) int {
+	d := c.PolicyFor(cohort).DeltaDepth
+	if d == 0 {
+		d = c.DeltaHistory
+	}
+	if d == 0 {
+		d = DefaultDeltaHistory
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// RingDepth is the version-ring size the coordinator must retain: the
+// deepest cohort window, so every cohort's admissible delta base is
+// actually answerable. 0 means no cohort uses delta broadcast.
+func (c Config) RingDepth() int {
+	depth := c.DepthFor(CohortDefault)
+	if d := c.DepthFor(CohortLowBW); d > depth {
+		depth = d
+	}
+	return depth
+}
+
 // DeltaSchemes lists the distinct delta-broadcast encodings the cohort
 // policies can assign — what a coordinator pre-encoding hot delta frames
 // at commit time must cover so every cohort's first request hits a warm
-// cache.
+// cache. Cohorts whose delta window is disabled contribute nothing: no
+// request of theirs can ever be answered with a delta frame.
 func (c Config) DeltaSchemes() []codec.Scheme {
-	out := []codec.Scheme{c.Default.Delta}
-	if c.LowBW.Delta != c.Default.Delta {
+	var out []codec.Scheme
+	if c.DepthFor(CohortDefault) > 0 {
+		out = append(out, c.Default.Delta)
+	}
+	if c.DepthFor(CohortLowBW) > 0 && (len(out) == 0 || c.LowBW.Delta != c.Default.Delta) {
 		out = append(out, c.LowBW.Delta)
 	}
 	return out

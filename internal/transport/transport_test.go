@@ -236,3 +236,50 @@ func TestDeltaSchemes(t *testing.T) {
 		t.Fatalf("deduped DeltaSchemes() = %v", got)
 	}
 }
+
+func TestPerCohortDeltaDepth(t *testing.T) {
+	// Un-defaulted zero config: both cohorts inherit the package default
+	// window, mirroring WithDefaults.
+	var zero Config
+	if d := zero.DepthFor(CohortDefault); d != DefaultDeltaHistory {
+		t.Fatalf("zero config default depth = %d, want %d", d, DefaultDeltaHistory)
+	}
+	// A cohort override wins over the global; the other cohort inherits.
+	cfg := Config{DeltaHistory: 4, LowBW: Policy{DeltaDepth: 16}}
+	if d := cfg.DepthFor(CohortDefault); d != 4 {
+		t.Fatalf("default cohort depth = %d, want 4", d)
+	}
+	if d := cfg.DepthFor(CohortLowBW); d != 16 {
+		t.Fatalf("lowbw cohort depth = %d, want 16", d)
+	}
+	// The ring is sized to the deepest cohort so every admissible base
+	// is answerable.
+	if r := cfg.RingDepth(); r != 16 {
+		t.Fatalf("RingDepth = %d, want 16", r)
+	}
+	// Negative disables: per cohort via DeltaDepth, globally via
+	// DeltaHistory (0 reports the window off, never negative).
+	off := Config{DeltaHistory: 8, Default: Policy{DeltaDepth: -1}}
+	if d := off.DepthFor(CohortDefault); d != 0 {
+		t.Fatalf("disabled cohort depth = %d, want 0", d)
+	}
+	if d := off.DepthFor(CohortLowBW); d != 8 {
+		t.Fatalf("lowbw depth beside a disabled default = %d, want 8", d)
+	}
+	allOff := Config{DeltaHistory: -1}
+	if allOff.RingDepth() != 0 {
+		t.Fatalf("globally disabled RingDepth = %d, want 0", allOff.RingDepth())
+	}
+	if got := allOff.DeltaSchemes(); len(got) != 0 {
+		t.Fatalf("disabled config still pre-encodes %v", got)
+	}
+	// A single disabled cohort drops out of the pre-encode set.
+	half := Config{
+		DeltaHistory: 8,
+		Default:      Policy{Delta: codec.Q8},
+		LowBW:        Policy{Delta: codec.Scheme{Kind: codec.KindTopK}, DeltaDepth: -1},
+	}
+	if got := half.DeltaSchemes(); len(got) != 1 || got[0] != codec.Q8 {
+		t.Fatalf("half-disabled DeltaSchemes = %v", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"flint/internal/partition"
 	"flint/internal/report"
 	"flint/internal/sched"
+	"flint/internal/tenant"
 	"flint/internal/tensor"
 )
 
@@ -526,6 +527,106 @@ func BenchmarkTaskServeDuringCommit(b *testing.B) {
 		b.Fatal("no commits happened: the bench measured an idle server")
 	}
 	b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/sec")
+}
+
+// BenchmarkMultiJobTaskServe is the tenancy tax gauge: the same task-serve
+// storm as BenchmarkTaskServeDuringCommit, aimed at one job of a
+// multi-tenant registry while 1 vs 3 jobs run their commit pipelines in
+// the same process. Per-job coordinators share nothing but the Go
+// runtime, so the jobs=3 number should track jobs=1 up to plain CPU
+// contention — a widening gap means tenant state bled into a shared
+// structure on the hot path.
+func BenchmarkMultiJobTaskServe(b *testing.B) {
+	for _, jobs := range []int{1, 3} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			base := coord.Config{
+				Mode:           coord.ModeAsync,
+				ModelKind:      model.KindB, // 189k params
+				Seed:           1,
+				TargetUpdates:  16,
+				Quorum:         16,
+				MaxInflight:    1 << 30,
+				RoundDeadline:  time.Hour,
+				QueueDepth:     4096,
+				StalenessAlpha: 0.5,
+			}
+			reg := tenant.NewRegistry(base)
+			defer reg.Close()
+			coords := make([]*coord.Coordinator, 0, jobs)
+			for i := 0; i < jobs; i++ {
+				job, err := reg.Register(tenant.JobSpec{Name: fmt.Sprintf("job-%d", i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				coords = append(coords, job.Coord)
+			}
+			info := func(id int64) coord.DeviceInfo {
+				return coord.DeviceInfo{
+					ID: id, Model: "Pixel-6", Platform: "Android",
+					WiFi: true, BatteryHigh: true, ModernOS: true,
+					SessionSec: 3600, Weight: 10,
+				}
+			}
+			// Two committers per job keep every tenant's pipeline busy.
+			stop := make(chan struct{})
+			var committerWG sync.WaitGroup
+			for _, c := range coords {
+				for w := 0; w < 2; w++ {
+					committerWG.Add(1)
+					go func(c *coord.Coordinator, id int64) {
+						defer committerWG.Done()
+						c.CheckIn(info(id))
+						var delta tensor.Vector
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							task, err := c.RequestTask(id)
+							if err != nil {
+								runtime.Gosched()
+								continue
+							}
+							if delta == nil {
+								delta = tensor.NewVector(task.Dim)
+								delta.Fill(0.0001)
+							}
+							_ = c.SubmitUpdate(coord.Submission{
+								DeviceID: id, RoundID: task.RoundID,
+								BaseVersion: task.BaseVersion, Weight: 10, Delta: delta,
+							})
+						}
+					}(c, int64(w+1))
+				}
+			}
+			served := coords[0]
+			var next atomic.Int64
+			next.Store(1 << 20)
+			start := served.Version()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := next.Add(1)
+					served.CheckIn(info(id))
+					if _, err := served.RequestTaskWith(id, coord.TaskQuery{Binary: true}); err != nil &&
+						!errors.Is(err, coord.ErrNoTask) {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			committerWG.Wait()
+			commits := served.Version() - start
+			if commits == 0 && b.Elapsed() > time.Second {
+				b.Fatal("no commits happened: the bench measured an idle server")
+			}
+			b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/sec")
+		})
+	}
 }
 
 // ------------------------------------------------------ scheduling plane

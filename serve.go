@@ -8,6 +8,7 @@ import (
 	"flint/internal/codec"
 	"flint/internal/coord"
 	"flint/internal/sched"
+	"flint/internal/tenant"
 	"flint/internal/tensor"
 	"flint/internal/transport"
 )
@@ -48,6 +49,40 @@ func CoordHandler(c *Coordinator) http.Handler { return coord.NewServer(c) }
 
 // RunFleet drives a simulated device fleet against a running server.
 func RunFleet(cfg FleetConfig) (*FleetReport, error) { return coord.RunFleet(cfg) }
+
+// Multi-tenant job plane (internal/tenant): M independent FL jobs
+// hosted inside one server process behind /v1/jobs/<job>/... routing,
+// with per-job device quotas and bearer-token auth. See DESIGN.md §12.
+type (
+	// JobSpec declares one FL job of a multi-tenant server; zero fields
+	// inherit the server's base CoordConfig.
+	JobSpec = tenant.JobSpec
+	// JobCohortSpec overlays one transport cohort's schemes and delta
+	// window in a job spec.
+	JobCohortSpec = tenant.CohortSpec
+	// JobRegistry hosts the jobs of a multi-tenant server.
+	JobRegistry = tenant.Registry
+	// Job is one registered tenant (spec + running coordinator).
+	Job = tenant.Job
+	// TenantStatus is the multi-tenant /v1/status payload: the default
+	// job's report inlined plus per-job and fleet rollup sections.
+	TenantStatus = tenant.StatusReport
+	// TenantJobStatus is one job's rollup row.
+	TenantJobStatus = tenant.JobStatus
+)
+
+// NewJobRegistry creates an empty job registry over a base serving
+// configuration; Close it when done.
+func NewJobRegistry(base CoordConfig) *JobRegistry { return tenant.NewRegistry(base) }
+
+// TenantHandler wraps a job registry in the multi-tenant /v1 router
+// (job routing, default-job alias, status rollup). admin enables
+// POST /v1/jobs job registration.
+func TenantHandler(reg *JobRegistry, admin bool) http.Handler { return tenant.NewServer(reg, admin) }
+
+// LoadJobSpecs parses a jobs file (a JSON array of specs, or an object
+// with a "jobs" array).
+func LoadJobSpecs(data []byte) ([]JobSpec, error) { return tenant.LoadSpecs(data) }
 
 // Binary tensor wire format (internal/codec): the payload encoding shared
 // by model checkpoints, the versioned store, and the serving protocol's

@@ -1,7 +1,9 @@
 package flint_test
 
 import (
+	"encoding/json"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -89,5 +91,95 @@ func TestTensorFacade(t *testing.T) {
 	}
 	if _, err := flint.EncodeTensor(v, flint.TensorTopK(2)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMultiTenantFacade drives the tenant exports end to end: one
+// router hosting two jobs (one token-protected), two concurrent fleets
+// on disjoint device IDs, both committing rounds, plus the rollup
+// status shape.
+func TestMultiTenantFacade(t *testing.T) {
+	base := flint.DefaultCoordConfig()
+	base.Mode = flint.CoordAsync
+	base.TargetUpdates = 8
+	base.Quorum = 4
+	base.RoundDeadline = 5 * time.Second
+	reg := flint.NewJobRegistry(base)
+	defer reg.Close()
+	specs, err := flint.LoadJobSpecs([]byte(`[
+		{"name": "ads"},
+		{"name": "msg", "mode": "async", "token": "fleet-t0ken"}
+	]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if _, err := reg.Register(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(flint.TenantHandler(reg, false))
+	defer srv.Close()
+
+	fleet := func(job, token string, offset int64) flint.FleetConfig {
+		return flint.FleetConfig{
+			BaseURL:   srv.URL,
+			Job:       job,
+			Token:     token,
+			IDOffset:  offset,
+			Devices:   40,
+			Rounds:    2,
+			Seed:      3 + offset,
+			ThinkTime: 5 * time.Millisecond,
+			Timeout:   90 * time.Second,
+		}
+	}
+	var wg sync.WaitGroup
+	reports := make([]*flint.FleetReport, 2)
+	errs := make([]error, 2)
+	for i, cfg := range []flint.FleetConfig{fleet("ads", "", 0), fleet("msg", "fleet-t0ken", 1000)} {
+		wg.Add(1)
+		go func(i int, cfg flint.FleetConfig) {
+			defer wg.Done()
+			reports[i], errs[i] = flint.RunFleet(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fleet %d: %v", i, err)
+		}
+		if reports[i].RoundsCommitted < 2 {
+			t.Fatalf("fleet %d committed %d rounds, want >= 2", i, reports[i].RoundsCommitted)
+		}
+	}
+
+	// The rollup sees both tenants' progress.
+	resp, err := srv.Client().Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st flint.TenantStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.DefaultJob != "ads" || st.Fleet.Jobs != 2 {
+		t.Fatalf("rollup: default %q, %d jobs", st.DefaultJob, st.Fleet.Jobs)
+	}
+	for _, name := range []string{"ads", "msg"} {
+		if st.Jobs[name].RoundsCommitted < 2 {
+			t.Fatalf("job %s rollup shows %d rounds", name, st.Jobs[name].RoundsCommitted)
+		}
+	}
+	// A tokenless probe of the protected tenant stays locked out even
+	// while its own fleet runs.
+	probe, err := srv.Client().Get(srv.URL + "/v1/jobs/msg/task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Body.Close()
+	if probe.StatusCode != 401 {
+		t.Fatalf("tokenless probe = %d, want 401", probe.StatusCode)
 	}
 }
