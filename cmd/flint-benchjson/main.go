@@ -5,11 +5,25 @@
 //
 // Every benchmark line becomes one object keyed by the benchmark name
 // (the -<GOMAXPROCS> suffix stripped), holding ns/op plus any extra
-// reported metrics with units sanitized into identifiers:
+// reported metrics with units sanitized into identifiers, plus the run's
+// parallelism context (gomaxprocs from the stripped suffix, num_cpu from
+// the recording machine) so a reader comparing entries across commits
+// knows when the hardware changed underneath them:
 //
-//	{"BenchmarkTaskServeDuringCommit": {"ns_per_op": 3351, "commits_per_sec": 4.77}}
+//	{"BenchmarkTaskServeDuringCommit": {"ns_per_op": 3351, "commits_per_sec": 4.77,
+//	 "gomaxprocs": 8, "num_cpu": 8}}
 //
-// Usage: go test -run '^$' -bench ... | flint-benchjson [-out file] [-match regex]
+// With -baseline and -gate it additionally acts as the perf regression
+// gate: after writing the fresh document it compares the gated
+// benchmark's ns_per_op and allocs_per_op against the baseline file and
+// exits nonzero when either regressed beyond -tolerance. The comparison
+// is skipped (with a notice) when the baseline was recorded on a machine
+// with a different num_cpu — cross-hardware deltas are not regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... | flint-benchjson [-out file] [-match regex]
+//	    [-baseline old.json] [-gate BenchmarkName] [-tolerance 0.20]
 package main
 
 import (
@@ -20,12 +34,14 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
-// benchLine matches "BenchmarkName-8   123   4567 ns/op   89 B/op ...".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+// benchLine matches "BenchmarkName-8   123   4567 ns/op   89 B/op ...",
+// capturing the GOMAXPROCS suffix go test appends to the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+(.*)$`)
 
 // unitName rewrites a go-bench metric unit into a JSON-friendly key:
 // "ns/op" → "ns_per_op", "commits/sec" → "commits_per_sec".
@@ -40,9 +56,55 @@ func unitName(unit string) string {
 	}, unit)
 }
 
+// gateMetrics are the per-op costs the regression gate watches. Throughput
+// metrics (speedup, commits/sec) are deliberately excluded: they embed a
+// same-run reference of their own and double-count the ns_per_op signal.
+var gateMetrics = []string{"ns_per_op", "allocs_per_op"}
+
+// gate compares the fresh entry for name against the baseline document
+// and returns a non-empty list of human-readable regressions when the
+// gate should fail. A missing baseline entry passes (first run of a new
+// benchmark); a num_cpu mismatch skips with a notice.
+func gate(results, baseline map[string]map[string]float64, name string, tol float64) []string {
+	old, ok := baseline[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flint-benchjson: gate: no baseline entry for %s; passing\n", name)
+		return nil
+	}
+	fresh, ok := results[name]
+	if !ok {
+		return []string{fmt.Sprintf("%s: gated benchmark missing from this run", name)}
+	}
+	if oldCPU, ok := old["num_cpu"]; ok && oldCPU != fresh["num_cpu"] {
+		fmt.Fprintf(os.Stderr,
+			"flint-benchjson: gate: baseline recorded on num_cpu=%g, this machine has %g; skipping comparison\n",
+			oldCPU, fresh["num_cpu"])
+		return nil
+	}
+	var bad []string
+	for _, metric := range gateMetrics {
+		was, ok := old[metric]
+		if !ok || was == 0 {
+			continue
+		}
+		now, ok := fresh[metric]
+		if !ok {
+			continue
+		}
+		if now > was*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: %s regressed %.1f%% (%.0f → %.0f, tolerance %.0f%%)",
+				name, metric, 100*(now/was-1), was, now, 100*tol))
+		}
+	}
+	return bad
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	match := flag.String("match", "", "only record benchmarks whose name matches this regex")
+	baselinePath := flag.String("baseline", "", "baseline JSON for the regression gate")
+	gateName := flag.String("gate", "", "benchmark name to gate against -baseline")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression before the gate fails")
 	flag.Parse()
 
 	var filter *regexp.Regexp
@@ -69,7 +131,7 @@ func main() {
 		if filter != nil && !filter.MatchString(name) {
 			continue
 		}
-		fields := strings.Fields(m[2])
+		fields := strings.Fields(m[3])
 		metrics := map[string]float64{}
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -78,9 +140,18 @@ func main() {
 			}
 			metrics[unitName(fields[i+1])] = v
 		}
-		if len(metrics) > 0 {
-			results[name] = metrics
+		if len(metrics) == 0 {
+			continue
 		}
+		procs := float64(runtime.GOMAXPROCS(0))
+		if m[2] != "" {
+			if p, err := strconv.ParseFloat(m[2], 64); err == nil {
+				procs = p
+			}
+		}
+		metrics["gomaxprocs"] = procs
+		metrics["num_cpu"] = float64(runtime.NumCPU())
+		results[name] = metrics
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatalf("flint-benchjson: read stdin: %v", err)
@@ -97,9 +168,32 @@ func main() {
 	raw = append(raw, '\n')
 	if *out == "" {
 		os.Stdout.Write(raw)
-		return
-	}
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
 		log.Fatalf("flint-benchjson: write %s: %v", *out, err)
 	}
+
+	// The gate runs after the write, so a failing run still records its
+	// numbers — the artifact is the evidence for debugging the failure.
+	if *gateName == "" {
+		return
+	}
+	if *baselinePath == "" {
+		log.Fatal("flint-benchjson: -gate requires -baseline")
+	}
+	blob, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flint-benchjson: gate: no readable baseline (%v); passing\n", err)
+		return
+	}
+	baseline := map[string]map[string]float64{}
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		log.Fatalf("flint-benchjson: gate: parse baseline %s: %v", *baselinePath, err)
+	}
+	if bad := gate(results, baseline, *gateName, *tolerance); len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "flint-benchjson: REGRESSION: "+msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "flint-benchjson: gate: %s within tolerance\n", *gateName)
 }

@@ -9,7 +9,9 @@ package aggregator
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"flint/internal/codec"
 	"flint/internal/tensor"
 )
 
@@ -19,12 +21,57 @@ type Update struct {
 	ClientID int64
 	// Delta is local_params - base_params.
 	Delta tensor.Vector
+	// Payload optionally carries the contribution still in wire form (a
+	// validated codec.Payload view) instead of a decoded Delta: FedAvg
+	// and FedBuff's range kernels decode straight out of it, so the
+	// ingest→commit path never materializes a full-dim vector per
+	// update. When Delta is non-nil it wins and Payload is ignored.
+	// Strategies without fused kernels (TrimmedMean, NormBound) call
+	// Materialize first; the simulation-side wrappers (DP, SecAgg,
+	// poisoning) require a dense Delta.
+	Payload *codec.Payload
 	// Weight is the aggregation weight, conventionally the client's
 	// example count |Dk|.
 	Weight float64
 	// Staleness counts server aggregations that happened between the
 	// client's dispatch and its arrival (0 in synchronous mode).
 	Staleness int
+}
+
+// dim is the update's declared element count, whichever form it carries.
+func (u Update) dim() int {
+	if u.Delta != nil {
+		return len(u.Delta)
+	}
+	if u.Payload != nil {
+		return u.Payload.Dim()
+	}
+	return 0
+}
+
+// Materialize returns an update set in which every payload-backed entry
+// has been decoded into a dense Delta — the fallback for strategies
+// without fused payload kernels. The input slice is never mutated; when
+// no entry is payload-backed it is returned as-is, allocation-free. The
+// materialized copies do not release the payloads (the ingest pipeline
+// owns that lifecycle).
+func Materialize(updates []Update) ([]Update, error) {
+	out := updates
+	for i, u := range updates {
+		if u.Delta != nil || u.Payload == nil {
+			continue
+		}
+		if &out[0] == &updates[0] {
+			out = make([]Update, len(updates))
+			copy(out, updates)
+		}
+		v, err := u.Payload.Materialize()
+		if err != nil {
+			return nil, fmt.Errorf("aggregator: materialize update from client %d: %w", u.ClientID, err)
+		}
+		out[i].Delta = v
+	}
+	return out, nil
 }
 
 // Strategy folds a batch of updates into the global parameter vector.
@@ -42,12 +89,13 @@ func weightOf(u Update) float64 {
 	return u.Weight
 }
 
-// validateDims rejects updates whose delta does not match the global
-// dimension, with the error every strategy reports for that case.
+// validateDims rejects updates whose delta (dense or wire-form) does not
+// match the global dimension, with the error every strategy reports for
+// that case.
 func validateDims(global tensor.Vector, updates []Update) error {
 	for _, u := range updates {
-		if len(u.Delta) != len(global) {
-			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, len(u.Delta), len(global))
+		if u.dim() != len(global) {
+			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, u.dim(), len(global))
 		}
 	}
 	return nil
@@ -73,7 +121,12 @@ func (f FedAvg) Aggregate(global tensor.Vector, updates []Update) error {
 // aggregateRange implements rangeStrategy: it folds the updates into
 // global[lo:hi] only, in the same per-coordinate order as the sequential
 // pass, so sharding the coordinate space across workers reproduces the
-// sequential result bit for bit. Callers have validated dimensions.
+// sequential result bit for bit. Payload-backed updates take the fused
+// kernel — decode, weight, and reduce in one pass over the wire bytes —
+// which computes each decoded value and each accumulation with the exact
+// expressions the materialize-then-AddScaled path uses, preserving that
+// bit-identity across mixed dense/wire update sets. Callers have
+// validated dimensions.
 func (FedAvg) aggregateRange(global tensor.Vector, updates []Update, lo, hi int) error {
 	var totalW float64
 	for _, u := range updates {
@@ -81,9 +134,23 @@ func (FedAvg) aggregateRange(global tensor.Vector, updates []Update, lo, hi int)
 	}
 	g := global[lo:hi]
 	for _, u := range updates {
-		g.AddScaled(weightOf(u)/totalW, u.Delta[lo:hi])
+		addScaledRange(g, weightOf(u)/totalW, u, lo, hi)
 	}
 	return nil
+}
+
+// fusedPayloads marks FedAvg's range kernel as reading wire payloads
+// directly (see payloadKernel).
+func (FedAvg) fusedPayloads() {}
+
+// addScaledRange applies one update's [lo:hi) window to g (= global[lo:hi])
+// with weight alpha, dense or fused.
+func addScaledRange(g tensor.Vector, alpha float64, u Update, lo, hi int) {
+	if u.Delta != nil {
+		g.AddScaled(alpha, u.Delta[lo:hi])
+		return
+	}
+	u.Payload.AddScaledRange(g, alpha, lo, hi)
 }
 
 // FedBuff applies a buffered asynchronous aggregation with polynomial
@@ -138,10 +205,14 @@ func (f FedBuff) aggregateRange(global tensor.Vector, updates []Update, lo, hi i
 	}
 	g := global[lo:hi]
 	for _, u := range updates {
-		g.AddScaled(lr*weightOf(u)*f.StalenessWeight(u.Staleness)/totalW, u.Delta[lo:hi])
+		addScaledRange(g, lr*weightOf(u)*f.StalenessWeight(u.Staleness)/totalW, u, lo, hi)
 	}
 	return nil
 }
+
+// fusedPayloads marks FedBuff's range kernel as reading wire payloads
+// directly (see payloadKernel).
+func (FedBuff) fusedPayloads() {}
 
 // TrimmedMean is a robust strategy: coordinate-wise mean after discarding
 // the TrimFrac highest and lowest values per coordinate, a standard defense
@@ -154,41 +225,124 @@ type TrimmedMean struct {
 // Name implements Strategy.
 func (t TrimmedMean) Name() string { return "trimmed-mean" }
 
-// Aggregate implements Strategy.
+// Aggregate implements Strategy. Payload-backed updates are materialized
+// first: the per-coordinate column gather needs random dense access, so
+// the robust reducer is a materializing strategy, not a fused one.
 func (t TrimmedMean) Aggregate(global tensor.Vector, updates []Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("aggregator: trimmed mean with no updates")
 	}
+	ups, err := Materialize(updates)
+	if err != nil {
+		return err
+	}
+	if err := validateDims(global, ups); err != nil {
+		return err
+	}
+	return t.aggregateRange(global, ups, 0, len(global))
+}
+
+// trimScratch recycles the per-call column buffer across aggregations
+// (and across Parallel's workers), so the per-coordinate gather never
+// allocates inside the coordinate loop.
+var trimScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+// aggregateRange implements rangeStrategy for the robust reducer, making
+// trimmed-mean viable as a live-path range kernel alongside FedAvg and
+// FedBuff: per coordinate it gathers the update column into a reused
+// scratch buffer, partitions out the k smallest and k largest with
+// partial selection (O(n) expected vs. the former insertion sort's
+// O(n²)), and folds the mean of the middle in. The selection's pivot rule
+// is deterministic, so every worker — and every re-run — sums the middle
+// values in the same order: parallel stays bit-identical to sequential.
+// Scalar validation runs identically in every worker before any of them
+// mutates global. Callers materialize payload-backed updates first
+// (Parallel does this for non-fused inner strategies).
+func (t TrimmedMean) aggregateRange(global tensor.Vector, updates []Update, lo, hi int) error {
 	if t.TrimFrac < 0 || t.TrimFrac >= 0.5 {
 		return fmt.Errorf("aggregator: trim fraction %v outside [0, 0.5)", t.TrimFrac)
 	}
-	for _, u := range updates {
-		if len(u.Delta) != len(global) {
-			return fmt.Errorf("aggregator: update from client %d has %d params, want %d", u.ClientID, len(u.Delta), len(global))
-		}
-	}
 	k := int(t.TrimFrac * float64(len(updates)))
-	vals := make([]float64, len(updates))
-	for j := range global {
+	bufp := trimScratch.Get().(*[]float64)
+	defer trimScratch.Put(bufp)
+	if cap(*bufp) < len(updates) {
+		*bufp = make([]float64, len(updates))
+	}
+	vals := (*bufp)[:len(updates)]
+	for j := lo; j < hi; j++ {
 		for i, u := range updates {
 			vals[i] = u.Delta[j]
 		}
-		insertSort(vals)
+		selectMiddle(vals, k)
 		var s float64
-		n := 0
-		for i := k; i < len(vals)-k; i++ {
-			s += vals[i]
-			n++
+		for _, v := range vals[k : len(vals)-k] {
+			s += v
 		}
-		if n > 0 {
+		if n := len(vals) - 2*k; n > 0 {
 			global[j] += s / float64(n)
 		}
 	}
 	return nil
 }
 
+// selectMiddle partitions vals so its k smallest elements occupy
+// vals[:k] and its k largest vals[len-k:], leaving the middle in
+// between — everything a trimmed sum needs, without fully sorting.
+func selectMiddle(vals []float64, k int) {
+	if k <= 0 || 2*k >= len(vals) {
+		return
+	}
+	nthElement(vals, k-1)
+	nthElement(vals[k:], len(vals)-2*k-1)
+}
+
+// nthElement partially sorts a so that a[n] holds its n-th smallest
+// element with everything before it no larger and everything after no
+// smaller — an iterative quickselect with a deterministic median-of-three
+// pivot (reproducible sums) and an insertion-sort base case. The interval
+// shrinks strictly every iteration, so it terminates even on pathological
+// (e.g. NaN-laced) comparisons.
+func nthElement(a []float64, n int) {
+	lo, hi := 0, len(a)-1
+	for hi > lo {
+		if hi-lo < 12 {
+			insertSort(a[lo : hi+1])
+			return
+		}
+		// Median-of-three of (lo, mid, hi), parked at hi-1 as the pivot.
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		a[mid], a[hi-1] = a[hi-1], a[mid]
+		pivot := a[hi-1]
+		i := lo
+		for j := lo; j < hi-1; j++ {
+			if a[j] < pivot {
+				a[i], a[j] = a[j], a[i]
+				i++
+			}
+		}
+		a[i], a[hi-1] = a[hi-1], a[i]
+		switch {
+		case n == i:
+			return
+		case n < i:
+			hi = i - 1
+		default:
+			lo = i + 1
+		}
+	}
+}
+
 // insertSort sorts small slices in place without package sort's interface
-// overhead — this is the inner loop over every model coordinate.
+// overhead — the quickselect base case in the per-coordinate loop.
 func insertSort(xs []float64) {
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
@@ -207,7 +361,8 @@ type NormBound struct {
 // Name implements Strategy.
 func (n NormBound) Name() string { return fmt.Sprintf("norm-bound(%s)", n.Inner.Name()) }
 
-// Aggregate implements Strategy.
+// Aggregate implements Strategy. Payload-backed updates are materialized
+// first — clipping needs a mutable dense copy anyway.
 func (n NormBound) Aggregate(global tensor.Vector, updates []Update) error {
 	if n.Bound <= 0 {
 		return fmt.Errorf("aggregator: norm bound must be positive, got %v", n.Bound)
@@ -215,10 +370,15 @@ func (n NormBound) Aggregate(global tensor.Vector, updates []Update) error {
 	if n.Inner == nil {
 		return fmt.Errorf("aggregator: norm bound needs an inner strategy")
 	}
-	clipped := make([]Update, len(updates))
-	for i, u := range updates {
+	ups, err := Materialize(updates)
+	if err != nil {
+		return err
+	}
+	clipped := make([]Update, len(ups))
+	for i, u := range ups {
 		c := u
 		c.Delta = u.Delta.Clone()
+		c.Payload = nil
 		c.Delta.Clip(n.Bound)
 		clipped[i] = c
 	}

@@ -1,6 +1,8 @@
 package aggregator
 
 import (
+	"errors"
+	"math"
 	"runtime"
 	"sync"
 
@@ -19,10 +21,34 @@ type rangeStrategy interface {
 	aggregateRange(global tensor.Vector, updates []Update, lo, hi int) error
 }
 
+// payloadKernel marks range strategies whose kernels read wire-form
+// (Payload-backed) updates directly; Parallel materializes the update set
+// up front for range strategies without it.
+type payloadKernel interface {
+	fusedPayloads()
+}
+
+// ErrNonFinite is the sentinel a screened aggregation returns when the
+// aggregate contains NaN or ±Inf — finite updates can still sum past
+// MaxFloat64. The aggregate HAS been applied when this is returned;
+// callers that must not publish non-finite state roll back (the commit
+// pipeline copies the published snapshot over the params).
+var ErrNonFinite = errors.New("aggregator: non-finite aggregate")
+
 // parallelMinWork is the aggregation size (dim × update count) below
 // which forking workers costs more than the arithmetic it parallelizes;
 // smaller batches run the inner strategy sequentially.
 const parallelMinWork = 1 << 20
+
+// shardAlign quantizes worker range boundaries, in coordinates. 256 is
+// the codec's q8 quantization chunk, so a shard never splits a chunk (no
+// two workers read the same scale word, and the fused q8 kernel's
+// chunk-walk never straddles a boundary); it is also 2 KiB of float64
+// accumulator — 32 cache lines — so adjacent workers never store to the
+// same line (no false sharing at the seams). Alignment only moves
+// boundaries; every coordinate still sees the identical operation
+// sequence, so bit-identity with sequential is unaffected.
+const shardAlign = 256
 
 // Parallel is a sharded tree-reduction wrapper around a coordinate-
 // separable strategy: it splits the parameter vector into contiguous
@@ -34,11 +60,18 @@ const parallelMinWork = 1 << 20
 // amortize goroutine startup) delegate to the inner strategy unchanged,
 // so Parallel is safe to install unconditionally.
 type Parallel struct {
-	// Inner is the wrapped strategy (FedAvg and FedBuff shard; others
-	// run sequentially).
+	// Inner is the wrapped strategy (FedAvg, FedBuff, and TrimmedMean
+	// shard; others run sequentially).
 	Inner Strategy
 	// Workers caps the shard count (0 = GOMAXPROCS).
 	Workers int
+	// Screen folds a non-finite sweep of each worker's range into the
+	// same pass, while the freshly written accumulator is still
+	// cache-hot: any NaN/Inf reachable from the inputs necessarily
+	// leaves the affected coordinate non-finite, so screening the
+	// output range catches overflow and poisoned inputs alike. A hit
+	// surfaces as ErrNonFinite after all workers join.
+	Screen bool
 }
 
 // Name implements Strategy.
@@ -58,12 +91,28 @@ func (p Parallel) Aggregate(global tensor.Vector, updates []Update) error {
 		workers = len(global)
 	}
 	if !ok || workers <= 1 || len(updates) == 0 || len(global)*len(updates) < parallelMinWork {
-		return p.Inner.Aggregate(global, updates)
+		if err := p.Inner.Aggregate(global, updates); err != nil {
+			return err
+		}
+		if p.Screen {
+			return screenRange(global, 0, len(global))
+		}
+		return nil
 	}
 	if err := validateDims(global, updates); err != nil {
 		return err
 	}
+	if _, fused := p.Inner.(payloadKernel); !fused {
+		// The inner kernel needs dense columns; decode wire-form updates
+		// once here rather than per worker.
+		var err error
+		updates, err = Materialize(updates)
+		if err != nil {
+			return err
+		}
+	}
 	chunk := (len(global) + workers - 1) / workers
+	chunk = (chunk + shardAlign - 1) / shardAlign * shardAlign
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -75,13 +124,34 @@ func (p Parallel) Aggregate(global tensor.Vector, updates []Update) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = rs.aggregateRange(global, updates, lo, hi)
+			err := rs.aggregateRange(global, updates, lo, hi)
+			if err == nil && p.Screen {
+				err = screenRange(global, lo, hi)
+			}
+			errs[w] = err
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// Kernel errors (which precede any mutation) outrank screen hits, so
+	// the wrapped error contract is unchanged by Screen.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrNonFinite) {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// screenRange scans global[lo:hi] for NaN/±Inf.
+func screenRange(global tensor.Vector, lo, hi int) error {
+	for _, x := range global[lo:hi] {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return ErrNonFinite
 		}
 	}
 	return nil

@@ -520,69 +520,23 @@ var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
 // tensors before any payload byte is read or allocated (0 accepts any
 // in-range count). Bytes after the frame are left unread in r.
 //
+// Callers that want the wire bytes themselves — and control over when the
+// pooled buffer goes back — use DecodePayloadFrom and Release instead;
+// DecodeFrom is the materializing wrapper over it.
+//
 // Read errors from r (e.g. an http.MaxBytesError from a bounded body) are
 // wrapped with %w so transports can branch on them.
 func DecodeFrom(r io.Reader, wantDim int) (tensor.Vector, Scheme, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, Scheme{}, fmt.Errorf("%w: stream ended inside header", ErrTooShort)
-		}
-		return nil, Scheme{}, fmt.Errorf("codec: read header: %w", err)
-	}
-	dim, s, err := Header(hdr[:])
+	p, err := DecodePayloadFrom(r, wantDim)
 	if err != nil {
 		return nil, Scheme{}, err
 	}
-	if wantDim > 0 && dim != wantDim {
-		return nil, Scheme{}, fmt.Errorf("%w: blob declares %d elements, want %d", ErrDim, dim, wantDim)
-	}
-	// Derive the exact payload length. Q8 and top-k carry it in their own
-	// leading u32 (chunk size / kept-entry count), so that prefix is read
-	// ahead and re-joined with the rest of the payload below.
-	var prefix [4]byte
-	prefixLen := 0
-	plen := 0
-	switch s.Kind {
-	case KindRawF64:
-		plen = 8 * dim
-	case KindF32:
-		plen = 4 * dim
-	case KindQ8:
-		if err := readPrefix(r, prefix[:]); err != nil {
-			return nil, Scheme{}, err
-		}
-		prefixLen = 4
-		chunk := binary.LittleEndian.Uint32(prefix[:])
-		if chunk == 0 || chunk > MaxDim {
-			return nil, Scheme{}, fmt.Errorf("%w: q8 chunk size %d", ErrPayload, chunk)
-		}
-		chunks := 0
-		if dim > 0 {
-			chunks = (dim + int(chunk) - 1) / int(chunk)
-		}
-		plen = 4 + 4*chunks + dim
-	case KindTopK:
-		if err := readPrefix(r, prefix[:]); err != nil {
-			return nil, Scheme{}, err
-		}
-		prefixLen = 4
-		k := binary.LittleEndian.Uint32(prefix[:])
-		if int64(k) > int64(dim) {
-			return nil, Scheme{}, fmt.Errorf("%w: topk count %d exceeds dim %d", ErrPayload, k, dim)
-		}
-		plen = 4 + 8*int(k)
-	}
-	bufp := payloadPool.Get().(*[]byte)
-	defer payloadPool.Put(bufp)
-	payload, err := readPayload(r, bufp, plen, prefix[:prefixLen], wantDim > 0)
+	defer p.Release()
+	v, err := p.Materialize()
 	if err != nil {
 		return nil, Scheme{}, err
 	}
-	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(hdr[12:]) {
-		return nil, Scheme{}, ErrChecksum
-	}
-	return decodePayload(payload, dim, s)
+	return v, p.scheme, nil
 }
 
 // payloadChunk bounds how much readPayload allocates ahead of bytes that

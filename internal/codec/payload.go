@@ -1,0 +1,385 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"flint/internal/tensor"
+)
+
+// Payload is a decoded-header, checksum-verified, structurally validated
+// view of one blob's wire payload that has NOT been materialized into a
+// dense vector. It is the zero-copy half of the codec: aggregation kernels
+// read coordinate ranges straight out of the wire bytes (AddScaledRange),
+// so the ingest→commit path never pays the per-update full-dim
+// make([]float64, dim) that Decode does.
+//
+// A Payload produced by DecodePayloadFrom owns a pooled buffer; the holder
+// must call Release exactly when done with it (Release is idempotent).
+// After Release every accessor that touches payload bytes panics — a
+// use-after-release is an aliasing bug the pool would otherwise convert
+// into silent cross-update corruption, so it fails loudly instead.
+//
+// All accessors are read-only, so a Payload may be shared across the
+// concurrent range kernels of one aggregation pass without locking.
+type Payload struct {
+	scheme Scheme // TopK carries the kept-entry count for KindTopK
+	dim    int
+	delta  bool
+	data   []byte // payload bytes, header stripped
+	// pool is the pooled-buffer handle data was read into (nil for
+	// ParsePayload views, which alias the caller's blob).
+	pool *[]byte
+	// q8chunk is the validated chunk size for KindQ8 (0 otherwise).
+	q8chunk int
+}
+
+// Scheme reports the encoding (TopK filled in for sparse payloads).
+func (p *Payload) Scheme() Scheme { return p.scheme }
+
+// Dim reports the element count of the encoded vector.
+func (p *Payload) Dim() int { return p.dim }
+
+// IsDelta reports whether the frame carried the delta flag.
+func (p *Payload) IsDelta() bool { return p.delta }
+
+// WireLen reports the payload size in bytes (header excluded).
+func (p *Payload) WireLen() int { return len(p.data) }
+
+// Release returns the pooled buffer to the codec pool and poisons the
+// view. Idempotent; safe on a nil or non-pooled Payload. The holder must
+// guarantee no accessor runs concurrently with or after Release.
+func (p *Payload) Release() {
+	if p == nil {
+		return
+	}
+	if h := p.pool; h != nil {
+		p.pool = nil
+		*h = p.data[:0]
+		payloadPool.Put(h)
+	}
+	p.data = nil
+}
+
+// Materialize decodes the payload into a fresh dense vector — the
+// fallback for consumers that need random dense access (robust reducers,
+// norm clipping). Fused consumers use AddScaledRange instead.
+func (p *Payload) Materialize() (tensor.Vector, error) {
+	v, _, err := decodePayload(p.data, p.dim, p.scheme)
+	return v, err
+}
+
+// AllFinite reports whether every decoded element is finite, scanning the
+// wire bytes without materializing. For q8 only the per-chunk float32
+// scales can carry non-finite bit patterns (values are int8, and
+// finite-scale × int8 cannot overflow float64), so the scan is O(dim/256);
+// for topk it is O(k).
+func (p *Payload) AllFinite() bool {
+	d := p.data
+	switch p.scheme.Kind {
+	case KindRawF64:
+		for i := 0; i < p.dim; i++ {
+			if isNonFinite64(binary.LittleEndian.Uint64(d[8*i:])) {
+				return false
+			}
+		}
+	case KindF32:
+		for i := 0; i < p.dim; i++ {
+			if isNonFinite32(binary.LittleEndian.Uint32(d[4*i:])) {
+				return false
+			}
+		}
+	case KindQ8:
+		for c := 0; c < p.q8chunks(); c++ {
+			if isNonFinite32(binary.LittleEndian.Uint32(d[4+4*c:])) {
+				return false
+			}
+		}
+	case KindTopK:
+		k := p.scheme.TopK
+		for i := 0; i < k; i++ {
+			if isNonFinite32(binary.LittleEndian.Uint32(d[4+4*k+4*i:])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isNonFinite64 reports an all-ones exponent (Inf or NaN) without leaving
+// integer registers.
+func isNonFinite64(bits uint64) bool { return bits&0x7FF0000000000000 == 0x7FF0000000000000 }
+
+func isNonFinite32(bits uint32) bool { return bits&0x7F800000 == 0x7F800000 }
+
+func (p *Payload) q8chunks() int {
+	if p.dim == 0 {
+		return 0
+	}
+	return (p.dim + p.q8chunk - 1) / p.q8chunk
+}
+
+// At returns element i decoded on the fly (tests, spot checks; kernels
+// stream ranges instead).
+func (p *Payload) At(i int) float64 {
+	if i < 0 || i >= p.dim {
+		panic(fmt.Sprintf("codec: payload index %d out of range [0,%d)", i, p.dim))
+	}
+	d := p.data
+	switch p.scheme.Kind {
+	case KindRawF64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(d[8*i:]))
+	case KindF32:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(d[4*i:])))
+	case KindQ8:
+		c := i / p.q8chunk
+		scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(d[4+4*c:])))
+		return float64(int8(d[4+4*p.q8chunks()+i])) * scale
+	case KindTopK:
+		k := p.scheme.TopK
+		j := sort.Search(k, func(n int) bool {
+			return int(binary.LittleEndian.Uint32(d[4+4*n:])) >= i
+		})
+		if j < k && int(binary.LittleEndian.Uint32(d[4+4*j:])) == i {
+			return float64(math.Float32frombits(binary.LittleEndian.Uint32(d[4+4*k+4*j:])))
+		}
+		return 0
+	}
+	return 0
+}
+
+// AddScaledRange folds dst[j-lo] += alpha * decoded[j] for j in [lo, hi)
+// — the fused decode→weight→reduce kernel. dst must be the caller's
+// global[lo:hi] window (len hi-lo). Every scheme computes the decoded
+// value with the exact expression decodePayload uses and applies it with
+// the exact expression tensor.AddScaled uses (v := decode(j); dst += alpha*v),
+// so a fused pass is bit-identical to materialize-then-AddScaled for
+// dense schemes and for q8. Top-k skips absent entries instead of adding
+// alpha*0, which is value-identical (it can only flip a -0 to +0).
+func (p *Payload) AddScaledRange(dst tensor.Vector, alpha float64, lo, hi int) {
+	if lo < 0 || hi > p.dim || lo > hi {
+		panic(fmt.Sprintf("codec: payload range [%d,%d) outside dim %d", lo, hi, p.dim))
+	}
+	if len(dst) != hi-lo {
+		panic(fmt.Sprintf("codec: payload range [%d,%d) into %d-elem dst", lo, hi, len(dst)))
+	}
+	d := p.data
+	switch p.scheme.Kind {
+	case KindRawF64:
+		b := d[8*lo : 8*hi]
+		for i := range dst {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+			dst[i] += alpha * v
+		}
+	case KindF32:
+		b := d[4*lo : 4*hi]
+		for i := range dst {
+			v := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+			dst[i] += alpha * v
+		}
+	case KindQ8:
+		chunk := p.q8chunk
+		scales := d[4 : 4+4*p.q8chunks()]
+		vals := d[4+4*p.q8chunks():]
+		for j := lo; j < hi; {
+			c := j / chunk
+			end := (c + 1) * chunk
+			if end > hi {
+				end = hi
+			}
+			scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(scales[4*c:])))
+			for ; j < end; j++ {
+				v := float64(int8(vals[j])) * scale
+				dst[j-lo] += alpha * v
+			}
+		}
+	case KindTopK:
+		k := p.scheme.TopK
+		idx := d[4 : 4+4*k]
+		valOff := 4 + 4*k
+		// Indices are validated strictly ascending, so the shard's slice
+		// of the sparse entries is one binary search plus a linear walk.
+		i := sort.Search(k, func(n int) bool {
+			return int(binary.LittleEndian.Uint32(idx[4*n:])) >= lo
+		})
+		for ; i < k; i++ {
+			j := int(binary.LittleEndian.Uint32(idx[4*i:]))
+			if j >= hi {
+				break
+			}
+			v := float64(math.Float32frombits(binary.LittleEndian.Uint32(d[valOff+4*i:])))
+			dst[j-lo] += alpha * v
+		}
+	}
+}
+
+// validatePayload runs the full structural validation Decode would apply,
+// without writing a single element: exact length accounting for every
+// scheme, chunk-size sanity for q8, and the strict ascending in-range
+// index walk for top-k (which AddScaledRange's binary search relies on).
+// It returns the scheme with TopK filled in and the q8 chunk size.
+func validatePayload(payload []byte, dim int, s Scheme) (Scheme, int, error) {
+	q8chunk := 0
+	switch s.Kind {
+	case KindRawF64:
+		if len(payload) != 8*dim {
+			return s, 0, fmt.Errorf("%w: raw64 payload %d bytes for dim %d", ErrPayload, len(payload), dim)
+		}
+	case KindF32:
+		if len(payload) != 4*dim {
+			return s, 0, fmt.Errorf("%w: f32 payload %d bytes for dim %d", ErrPayload, len(payload), dim)
+		}
+	case KindQ8:
+		if len(payload) < 4 {
+			return s, 0, fmt.Errorf("%w: q8 payload missing chunk size", ErrPayload)
+		}
+		chunk := int(binary.LittleEndian.Uint32(payload))
+		if chunk <= 0 || chunk > MaxDim {
+			return s, 0, fmt.Errorf("%w: q8 chunk size %d", ErrPayload, chunk)
+		}
+		chunks := 0
+		if dim > 0 {
+			chunks = (dim + chunk - 1) / chunk
+		}
+		if len(payload) != 4+4*chunks+dim {
+			return s, 0, fmt.Errorf("%w: q8 payload %d bytes for dim %d chunk %d", ErrPayload, len(payload), dim, chunk)
+		}
+		q8chunk = chunk
+	case KindTopK:
+		if len(payload) < 4 {
+			return s, 0, fmt.Errorf("%w: topk payload missing count", ErrPayload)
+		}
+		k := int(binary.LittleEndian.Uint32(payload))
+		if k > dim {
+			return s, 0, fmt.Errorf("%w: topk count %d exceeds dim %d", ErrPayload, k, dim)
+		}
+		if len(payload) != 4+8*k {
+			return s, 0, fmt.Errorf("%w: topk payload %d bytes for k %d", ErrPayload, len(payload), k)
+		}
+		prev := -1
+		for i := 0; i < k; i++ {
+			j := int(binary.LittleEndian.Uint32(payload[4+4*i:]))
+			if j >= dim || j <= prev {
+				return s, 0, fmt.Errorf("%w: topk index %d (dim %d, prev %d)", ErrPayload, j, dim, prev)
+			}
+			prev = j
+		}
+		s.TopK = k
+	}
+	return s, q8chunk, nil
+}
+
+// ParsePayload builds a zero-copy Payload view over an in-memory blob
+// (header + payload): header and checksum verified, structure validated.
+// The view aliases blob — the caller must keep it immutable for the
+// Payload's lifetime. Release is a no-op pool-wise (nothing pooled) but
+// still poisons the view.
+func ParsePayload(blob []byte) (*Payload, error) {
+	dim, s, err := Header(blob)
+	if err != nil {
+		return nil, err
+	}
+	payload := blob[headerSize:]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(blob[12:]) {
+		return nil, ErrChecksum
+	}
+	s, q8chunk, err := validatePayload(payload, dim, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Payload{
+		scheme:  s,
+		dim:     dim,
+		delta:   blob[5]&flagDelta != 0,
+		data:    payload,
+		q8chunk: q8chunk,
+	}, nil
+}
+
+// DecodePayloadFrom reads exactly one framed blob from r — the same
+// streaming discipline as DecodeFrom (header validated first, exact
+// payload length derived before any payload byte is read, CRC checked) —
+// but stops short of materializing: it returns a structurally validated
+// Payload that retains the pooled read buffer. The caller owns the
+// Payload and must Release it; until then the wire bytes are readable
+// zero-copy via AddScaledRange/At/AllFinite. A wantDim > 0 requires the
+// header's element count to equal it. Bytes after the frame are left
+// unread in r.
+func DecodePayloadFrom(r io.Reader, wantDim int) (*Payload, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: stream ended inside header", ErrTooShort)
+		}
+		return nil, fmt.Errorf("codec: read header: %w", err)
+	}
+	dim, s, err := Header(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if wantDim > 0 && dim != wantDim {
+		return nil, fmt.Errorf("%w: blob declares %d elements, want %d", ErrDim, dim, wantDim)
+	}
+	// Derive the exact payload length; q8/top-k carry it in their own
+	// leading u32, read ahead and re-joined below (see DecodeFrom).
+	var prefix [4]byte
+	prefixLen := 0
+	plen := 0
+	switch s.Kind {
+	case KindRawF64:
+		plen = 8 * dim
+	case KindF32:
+		plen = 4 * dim
+	case KindQ8:
+		if err := readPrefix(r, prefix[:]); err != nil {
+			return nil, err
+		}
+		prefixLen = 4
+		chunk := binary.LittleEndian.Uint32(prefix[:])
+		if chunk == 0 || chunk > MaxDim {
+			return nil, fmt.Errorf("%w: q8 chunk size %d", ErrPayload, chunk)
+		}
+		chunks := 0
+		if dim > 0 {
+			chunks = (dim + int(chunk) - 1) / int(chunk)
+		}
+		plen = 4 + 4*chunks + dim
+	case KindTopK:
+		if err := readPrefix(r, prefix[:]); err != nil {
+			return nil, err
+		}
+		prefixLen = 4
+		k := binary.LittleEndian.Uint32(prefix[:])
+		if int64(k) > int64(dim) {
+			return nil, fmt.Errorf("%w: topk count %d exceeds dim %d", ErrPayload, k, dim)
+		}
+		plen = 4 + 8*int(k)
+	}
+	bufp := payloadPool.Get().(*[]byte)
+	payload, err := readPayload(r, bufp, plen, prefix[:prefixLen], wantDim > 0)
+	if err != nil {
+		payloadPool.Put(bufp)
+		return nil, err
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(hdr[12:]) {
+		payloadPool.Put(bufp)
+		return nil, ErrChecksum
+	}
+	s, q8chunk, err := validatePayload(payload, dim, s)
+	if err != nil {
+		payloadPool.Put(bufp)
+		return nil, err
+	}
+	return &Payload{
+		scheme:  s,
+		dim:     dim,
+		delta:   hdr[5]&flagDelta != 0,
+		data:    payload,
+		pool:    bufp,
+		q8chunk: q8chunk,
+	}, nil
+}

@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"testing"
+
+	"flint/internal/tensor"
+)
+
+func payloadTestVec(rng *rand.Rand, dim int) tensor.Vector {
+	v := tensor.NewVector(dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// TestPayloadAccessorsMatchDecode: At, Materialize, and AddScaledRange
+// over arbitrary sub-ranges agree exactly with the materializing decoder
+// for every scheme, through both ParsePayload and DecodePayloadFrom.
+func TestPayloadAccessorsMatchDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dim := range []int{1, 255, 256, 300, 1519} {
+		for _, s := range []Scheme{RawF64, F32, Q8, TopK(0), TopK(dim)} {
+			v := payloadTestVec(rng, dim)
+			blob, err := Encode(v, s)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			want, wantScheme, err := Decode(blob)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			parsed, err := ParsePayload(blob)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			streamed, err := DecodePayloadFrom(bytes.NewReader(blob), dim)
+			if err != nil {
+				t.Fatalf("stream: %v", err)
+			}
+			for name, p := range map[string]*Payload{"parsed": parsed, "streamed": streamed} {
+				if p.Dim() != dim || p.Scheme() != wantScheme {
+					t.Fatalf("%s %v: dim %d scheme %v (want %d %v)", name, s, p.Dim(), p.Scheme(), dim, wantScheme)
+				}
+				got, err := p.Materialize()
+				if err != nil {
+					t.Fatalf("%s materialize: %v", name, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s %v: materialize[%d]=%v want %v", name, s, i, got[i], want[i])
+					}
+					if a := p.At(i); a != want[i] {
+						t.Fatalf("%s %v: At(%d)=%v want %v", name, s, i, a, want[i])
+					}
+				}
+				// Range kernel over random windows, including chunk-
+				// straddling and empty ones.
+				for trial := 0; trial < 20; trial++ {
+					lo := rng.Intn(dim + 1)
+					hi := lo + rng.Intn(dim-lo+1)
+					alpha := rng.NormFloat64()
+					dst := payloadTestVec(rng, hi-lo)
+					ref := dst.Clone()
+					ref.AddScaled(alpha, want[lo:hi])
+					p.AddScaledRange(dst, alpha, lo, hi)
+					for i := range dst {
+						if dst[i] != ref[i] {
+							t.Fatalf("%s %v [%d:%d): dst[%d]=%v want %v", name, s, lo, hi, i, dst[i], ref[i])
+						}
+					}
+				}
+			}
+			streamed.Release()
+		}
+	}
+}
+
+// TestPayloadAllFinite: the wire-byte screen agrees with a decode-and-
+// scan for clean payloads and flags smuggled NaN/Inf bit patterns in
+// every scheme's value region.
+func TestPayloadAllFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dim := 600
+	v := payloadTestVec(rng, dim)
+	for _, s := range []Scheme{RawF64, F32, Q8, TopK(40)} {
+		blob, err := Encode(v, s)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		p, err := ParsePayload(blob)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if !p.AllFinite() {
+			t.Fatalf("%v: clean payload reported non-finite", s)
+		}
+	}
+	// Corrupt one value per scheme to a NaN/Inf bit pattern, refresh the
+	// CRC, and require the screen to catch it.
+	poison := func(blob []byte, off int, bits32 uint32, bits64 uint64, wide bool) []byte {
+		out := bytes.Clone(blob)
+		if wide {
+			putU64(out[headerSize+off:], bits64)
+		} else {
+			putU32(out[headerSize+off:], bits32)
+		}
+		refreshCRC(out)
+		return out
+	}
+	cases := []struct {
+		s    Scheme
+		off  func(k int) int // offset into payload of a value word
+		wide bool
+	}{
+		{RawF64, func(int) int { return 8 * 7 }, true},
+		{F32, func(int) int { return 4 * 7 }, false},
+		{Q8, func(int) int { return 4 }, false},               // first chunk scale
+		{TopK(40), func(k int) int { return 4 + 4*k }, false}, // first kept value
+	}
+	for _, tc := range cases {
+		blob, err := Encode(v, tc.s)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		k := tc.s.TopK
+		for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+			evil := poison(blob, tc.off(k), math.Float32bits(float32(bad)), math.Float64bits(bad), tc.wide)
+			p, err := ParsePayload(evil)
+			if err != nil {
+				t.Fatalf("%v: parse poisoned: %v", tc.s, err)
+			}
+			if p.AllFinite() {
+				t.Fatalf("%v: smuggled %v not caught", tc.s, bad)
+			}
+		}
+	}
+}
+
+func putU32(b []byte, x uint32) {
+	b[0] = byte(x)
+	b[1] = byte(x >> 8)
+	b[2] = byte(x >> 16)
+	b[3] = byte(x >> 24)
+}
+
+func putU64(b []byte, x uint64) {
+	putU32(b, uint32(x))
+	putU32(b[4:], uint32(x>>32))
+}
+
+func refreshCRC(blob []byte) {
+	putU32(blob[12:], crc32.ChecksumIEEE(blob[headerSize:]))
+}
+
+// TestPayloadReleasePoisons: a released pooled payload must fail loudly
+// on later access (the aliasing contract), and Release must be
+// idempotent.
+func TestPayloadReleasePoisons(t *testing.T) {
+	v := payloadTestVec(rand.New(rand.NewSource(1)), 300)
+	blob, err := Encode(v, Q8)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	p, err := DecodePayloadFrom(bytes.NewReader(blob), 300)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	p.Release()
+	p.Release() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("At on released payload did not panic")
+		}
+	}()
+	_ = p.At(0)
+}
+
+// TestDecodePayloadFromReuse: sequential decode/release cycles reuse the
+// pooled buffer rather than growing fresh ones — the satellite fix for
+// DecodeFrom's previously unreturnable pool handle, observable as near-
+// zero per-cycle allocation.
+func TestDecodePayloadFromReuse(t *testing.T) {
+	v := payloadTestVec(rand.New(rand.NewSource(2)), 4096)
+	blob, err := Encode(v, RawF64)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	r := bytes.NewReader(blob)
+	avg := testing.AllocsPerRun(200, func() {
+		r.Reset(blob)
+		p, err := DecodePayloadFrom(r, 4096)
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		p.Release()
+	})
+	// One Payload struct (+ pool bookkeeping) per cycle is fine; a fresh
+	// 32 KiB payload buffer per cycle is the regression this guards.
+	if avg > 4 {
+		t.Fatalf("DecodePayloadFrom+Release allocates %.1f objects/op; pooled buffer not reused?", avg)
+	}
+}

@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -91,12 +92,17 @@ func TestTaskSnapshotConsistencyUnderCommits(t *testing.T) {
 	}
 
 	var wg sync.WaitGroup
+	errs := make(chan error, hammers+committers)
 	// Committers drive the pipeline: request, submit, repeat. Every
 	// TargetUpdates accepted updates forces a full commit (aggregate,
-	// snapshot build, store insert, swap).
+	// snapshot build, store insert, swap). Even-indexed committers submit
+	// in wire form through the pooled-payload path — encode, stream back
+	// through DecodePayloadFrom, hand the pooled buffer to SubmitUpdate —
+	// so commits continuously recycle pool buffers while the hammers read
+	// published snapshots (the aliasing gauntlet for the zero-copy path).
 	for i := 0; i < committers; i++ {
 		wg.Add(1)
-		go func(id int64) {
+		go func(id int64, wire bool) {
 			defer wg.Done()
 			c.CheckIn(info(id))
 			for {
@@ -118,21 +124,34 @@ func TestTaskSnapshotConsistencyUnderCommits(t *testing.T) {
 				for j := range delta {
 					delta[j] = 1e-4 * float64(id%7+1) * float64(j%13+1)
 				}
-				_ = c.SubmitUpdate(Submission{
+				sub := Submission{
 					DeviceID:    id,
 					RoundID:     task.RoundID,
 					BaseVersion: task.BaseVersion,
 					Weight:      10,
 					Delta:       delta,
-				})
+				}
+				if wire {
+					blob, err := codec.Encode(delta, codec.RawF64)
+					if err != nil {
+						errs <- errf("committer %d: encode: %v", id, err)
+						return
+					}
+					p, err := codec.DecodePayloadFrom(bytes.NewReader(blob), c.dim)
+					if err != nil {
+						errs <- errf("committer %d: payload decode: %v", id, err)
+						return
+					}
+					sub.Delta, sub.Payload = nil, p
+				}
+				_ = c.SubmitUpdate(sub) // takes payload ownership on every outcome
 			}
-		}(int64(i + 1))
+		}(int64(i+1), i%2 == 0)
 	}
 	// Hammers: each request uses a fresh device (always assignable) and
 	// randomly advertises a previously published base version, so full
 	// blobs, cached deltas, pre-encoded deltas, and no-change frames all
 	// flow while versions advance underneath.
-	errs := make(chan error, hammers)
 	for i := 0; i < hammers; i++ {
 		wg.Add(1)
 		go func(seed int64) {
@@ -238,6 +257,125 @@ func TestTaskSnapshotConsistencyUnderCommits(t *testing.T) {
 }
 
 func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// TestPayloadAliasingUnderConcurrentCommits pins the pooled-payload
+// lifetime contract with exact arithmetic (run with -race): four devices
+// concurrently submit raw64 wire payloads whose nonzero coordinates are
+// disjoint (device d owns j where j%devices == d), so FedAvg's result is
+// independent of aggregation order and each committed version must equal
+// a sequential reference bit for bit. If a pooled buffer were recycled
+// while a round still reads it — the aliasing bug this guards against —
+// a later round's bytes would bleed into an earlier aggregate and the
+// exact comparison (or Release poisoning, or the race detector) fires.
+// Rounds repeat so buffers released by round r are re-acquired by round
+// r+1 while the store still serves r's snapshot.
+func TestPayloadAliasingUnderConcurrentCommits(t *testing.T) {
+	const (
+		devices = 4
+		rounds  = 6
+	)
+	c, err := New(Config{
+		Mode:          ModeSync,
+		ModelKind:     model.KindA,
+		Seed:          2,
+		TargetUpdates: devices,
+		Quorum:        devices,
+		OverCommit:    1, // MaxAssign == devices: each device aggregates exactly once per round
+		RoundDeadline: time.Minute,
+		QueueDepth:    64,
+		KeepVersions:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	name := c.Config().ModelName
+	base, err := c.Store().Get(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := base.Params().Clone()
+	for id := int64(1); id <= devices; id++ {
+		c.CheckIn(testInfo(id))
+	}
+
+	for round := 0; round < rounds; round++ {
+		deltas := make([]tensor.Vector, devices)
+		for d := range deltas {
+			delta := tensor.NewVector(c.dim)
+			for j := d; j < c.dim; j += devices {
+				delta[j] = 1e-3 * float64(round*devices+d+1)
+			}
+			deltas[d] = delta
+		}
+		errs := make(chan error, devices)
+		var wg sync.WaitGroup
+		for d := 0; d < devices; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				id := int64(d + 1)
+				var task Task
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					var err error
+					if task, err = c.RequestTask(id); err == nil {
+						break
+					}
+					if time.Now().After(deadline) {
+						errs <- errf("device %d: no task before deadline: %v", id, err)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+				blob, err := codec.Encode(deltas[d], codec.RawF64)
+				if err != nil {
+					errs <- errf("device %d: encode: %v", id, err)
+					return
+				}
+				p, err := codec.DecodePayloadFrom(bytes.NewReader(blob), c.dim)
+				if err != nil {
+					errs <- errf("device %d: payload decode: %v", id, err)
+					return
+				}
+				if err := c.SubmitUpdate(Submission{
+					DeviceID:    id,
+					RoundID:     task.RoundID,
+					BaseVersion: task.BaseVersion,
+					Weight:      1,
+					Payload:     p,
+				}); err != nil {
+					errs <- errf("device %d: submit: %v", id, err)
+				}
+			}(d)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		want := round + 2 // versions are 1-based; round r publishes r+2
+		eventually(t, 15*time.Second, func() bool { return c.Version() >= want },
+			"round never committed")
+		// Equal unit weights: alpha is exactly 1/devices = 0.25, and the
+		// disjoint supports make the fold order irrelevant even in FP.
+		for d := 0; d < devices; d++ {
+			ref.AddScaled(1.0/devices, deltas[d])
+		}
+		m, err := c.Store().Get(name, want)
+		if err != nil {
+			t.Fatalf("store v%d: %v", want, err)
+		}
+		got := m.Params()
+		for j := range ref {
+			if got[j] != ref[j] {
+				t.Fatalf("round %d: v%d params[%d] = %g, want %g (payload aliasing?)",
+					round, want, j, got[j], ref[j])
+			}
+		}
+	}
+}
 
 // TestWriteBehindPersistence pins the stage-3 contract: commits return
 // before their disk write, versions are readable from the store

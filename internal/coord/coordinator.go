@@ -95,6 +95,24 @@ type Submission struct {
 	BaseVersion int
 	Weight      float64
 	Delta       tensor.Vector
+	// Payload optionally carries the update still in wire form (a
+	// validated codec.Payload) instead of a decoded Delta: the commit
+	// pipeline's fused kernels aggregate straight out of the pooled
+	// wire bytes, and the buffer goes back to the codec pool when the
+	// accepting round goes terminal. SubmitUpdate takes ownership on
+	// EVERY outcome, success or error — the caller must not touch the
+	// Payload after the call. Set exactly one of Delta and Payload.
+	Payload *codec.Payload
+}
+
+// release returns the submission's pooled payload (if any) to the codec
+// pool — the rejection-path exit; accepted payloads are released by the
+// round that buffered them.
+func (s *Submission) release() {
+	if s.Payload != nil {
+		s.Payload.Release()
+		s.Payload = nil
+	}
 }
 
 // CheckInResult is the coordinator's reply to a device check-in.
@@ -286,12 +304,14 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	// Both strategies are coordinate-separable, so the commit pipeline's
 	// aggregation shards across cores and stays bit-identical to the
-	// sequential fold.
+	// sequential fold. Screen folds the post-aggregate non-finite sweep
+	// into the same pass, per worker range, while the accumulator is
+	// still cache-hot.
 	switch cfg.Mode {
 	case ModeSync:
-		c.strategy = aggregator.Parallel{Inner: aggregator.FedAvg{}}
+		c.strategy = aggregator.Parallel{Inner: aggregator.FedAvg{}, Screen: true}
 	case ModeAsync:
-		c.strategy = aggregator.Parallel{Inner: aggregator.FedBuff{ServerLR: cfg.ServerLR, Alpha: cfg.StalenessAlpha}}
+		c.strategy = aggregator.Parallel{Inner: aggregator.FedBuff{ServerLR: cfg.ServerLR, Alpha: cfg.StalenessAlpha}, Screen: true}
 	}
 	v, err := store.Put(cfg.ModelName, m)
 	if err != nil {
@@ -334,7 +354,8 @@ func New(cfg Config) (*Coordinator, error) {
 		"update_rejected_nonfinite", "update_rejected_busy",
 		"update_rejected_unassigned", "update_rejected_future",
 		"update_rejected_stale", "update_rejected_late",
-		"update_rejected_oversize", "updates_aggregated",
+		"update_rejected_oversize", "update_lazy_payload",
+		"updates_aggregated",
 		"rounds_committed", "rounds_abandoned", "round_fsm_error",
 		"round_aggregate_error", "round_aggregate_nonfinite",
 		"round_publish_error",
@@ -686,31 +707,64 @@ func acceptsKind(override, advertised []codec.Kind, k codec.Kind) bool {
 
 // SubmitUpdate validates a device update and enqueues it for the ingest
 // worker. A full queue returns ErrBusy (the load-shedding contract: devices
-// retry with backoff rather than stalling the server).
+// retry with backoff rather than stalling the server). For payload-backed
+// submissions the coordinator owns the pooled buffer from here on,
+// whatever the outcome.
 func (c *Coordinator) SubmitUpdate(sub Submission) error {
 	if c.closed.Load() {
+		sub.release()
 		return ErrClosed
 	}
-	if len(sub.Delta) != c.dim {
+	if dim := submissionDim(sub); dim != c.dim {
+		sub.release()
 		c.counters.Counter("update_rejected_dim").Inc()
-		return fmt.Errorf("coord: update from device %d has %d params, want %d", sub.DeviceID, len(sub.Delta), c.dim)
+		return fmt.Errorf("coord: update from device %d has %d params, want %d", sub.DeviceID, dim, c.dim)
 	}
 	// One NaN/Inf element would propagate through aggregation and
 	// permanently poison the published model; the binary wire format can
 	// carry such bit patterns (JSON can't), so every ingress is screened
-	// here, the single choke point for all transports.
-	if !finite(sub.Weight) || !allFinite(sub.Delta) {
+	// here, the single choke point for all transports. Wire-form
+	// submissions are screened on the payload bytes themselves (for q8
+	// that is one float32 scale per 256 elements — no decode, no
+	// allocation); overflow *during* aggregation is caught by the screen
+	// fused into the commit pass.
+	if !finite(sub.Weight) || !submissionFinite(sub) {
+		sub.release()
 		c.counters.Counter("update_rejected_nonfinite").Inc()
 		return fmt.Errorf("coord: update from device %d contains non-finite values", sub.DeviceID)
 	}
 	select {
 	case c.ingest <- sub:
 		c.counters.Counter("update_enqueued").Inc()
+		if sub.Payload != nil {
+			c.counters.Counter("update_lazy_payload").Inc()
+		}
 		return nil
 	default:
+		sub.release()
 		c.counters.Counter("update_rejected_busy").Inc()
 		return ErrBusy
 	}
+}
+
+// submissionDim is the update's element count, whichever form it carries.
+func submissionDim(sub Submission) int {
+	if sub.Delta != nil {
+		return len(sub.Delta)
+	}
+	if sub.Payload != nil {
+		return sub.Payload.Dim()
+	}
+	return 0
+}
+
+// submissionFinite screens the update for NaN/±Inf without materializing
+// wire-form payloads.
+func submissionFinite(sub Submission) bool {
+	if sub.Delta != nil {
+		return allFinite(sub.Delta)
+	}
+	return sub.Payload.AllFinite()
 }
 
 func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
@@ -833,6 +887,7 @@ func (c *Coordinator) apply(sub Submission) {
 	// otherwise let one device over-weight the aggregate.
 	assignedTo, held := c.reg.ConsumeAssignment(sub.DeviceID)
 	if !held {
+		sub.release()
 		c.counters.Counter("update_rejected_unassigned").Inc()
 		return
 	}
@@ -855,22 +910,26 @@ func (c *Coordinator) apply(sub Submission) {
 		version := int(c.version.Load())
 		staleness := version - sub.BaseVersion
 		if staleness < 0 {
+			sub.release()
 			c.counters.Counter("update_rejected_future").Inc()
 			return
 		}
 		if c.cfg.Mode == ModeAsync && c.cfg.MaxStaleness > 0 && staleness > c.cfg.MaxStaleness {
+			sub.release()
 			c.counters.Counter("update_rejected_stale").Inc()
 			return
 		}
 		u := aggregator.Update{
 			ClientID:  sub.DeviceID,
 			Delta:     sub.Delta,
+			Payload:   sub.Payload,
 			Weight:    weight,
 			Staleness: staleness,
 		}
 		if c.cfg.Mode == ModeSync {
 			// Sync rounds only accept their own cohort's updates.
 			if assignedTo != r.ID || sub.RoundID != r.ID || sub.BaseVersion != r.BaseVersion {
+				sub.release()
 				c.counters.Counter("update_rejected_late").Inc()
 				return
 			}
@@ -887,6 +946,7 @@ func (c *Coordinator) apply(sub Submission) {
 				c.mu.Unlock()
 				continue
 			}
+			sub.release()
 			c.counters.Counter("update_rejected_late").Inc()
 			return
 		}
@@ -945,22 +1005,24 @@ func (c *Coordinator) commitLocked(r *Round, now time.Time) {
 		c.counters.Counter("round_fsm_error").Inc()
 		return
 	}
-	// Stage 1: parallel tree-reduction aggregation.
+	// Stage 1: parallel tree-reduction aggregation, with the non-finite
+	// screen fused into each worker's range (the ingress screen in
+	// SubmitUpdate only sees individual updates; finite deltas can still
+	// sum past MaxFloat64 during aggregation, and a single Inf here
+	// would be republished forever).
 	params := c.global.Params()
 	if err := c.strategy.Aggregate(params, updates); err != nil {
+		if errors.Is(err, aggregator.ErrNonFinite) {
+			// The aggregate was applied in place before the screen hit;
+			// roll back to the last published snapshot (captured
+			// pre-aggregation) before dropping the round.
+			c.abortCommitLocked(r, bs, params, "round_aggregate_nonfinite", now)
+			return
+		}
 		// Aggregation failure (dimension drift) dooms the cohort, not
 		// the server: drop the round and keep serving. The strategy
 		// validates before mutating, so there is nothing to roll back.
 		c.abortCommitLocked(r, bs, nil, "round_aggregate_error", now)
-		return
-	}
-	// The ingress screen in SubmitUpdate only sees individual updates;
-	// finite deltas can still sum past MaxFloat64 during aggregation, and
-	// a single Inf here would be republished forever. Aggregate mutates
-	// params in place, so roll back to the last published snapshot
-	// (captured pre-aggregation) before dropping the round.
-	if !allFinite(params) {
-		c.abortCommitLocked(r, bs, params, "round_aggregate_nonfinite", now)
 		return
 	}
 	// Stage 2: build the successor broadcast plane. A failure here (or in
@@ -1137,6 +1199,11 @@ func (c *Coordinator) abandonLocked(r *Round, now time.Time) {
 // broadcast plane bs (the fresh plane after a commit, the unchanged one
 // after an abandonment). Callers hold mu.
 func (c *Coordinator) finishLocked(r *Round, newVersion int, bs *broadcastState, now time.Time) {
+	// The round is terminal: its buffered updates have been aggregated
+	// (or dropped), so the pooled wire payloads they carried go back to
+	// the codec pool here — the single release point for accepted
+	// updates, matching the single ingest worker that buffered them.
+	r.releasePayloads()
 	if c.cfg.Mode == ModeSync {
 		// A terminal sync round voids its outstanding tasks — idle
 		// exactly the devices it assigned (not an O(fleet) scan). In

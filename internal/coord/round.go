@@ -241,6 +241,21 @@ func (r *Round) expireIfStarved(now time.Time) bool {
 	return r.advanceLocked(PhaseAbandoned) == nil
 }
 
+// releasePayloads returns every buffered update's pooled wire payload to
+// the codec pool and drops the references. Called exactly once, after the
+// round goes terminal: aggregation (if any) has finished, so nothing can
+// still be reading the wire bytes. Idempotent via Payload.Release.
+func (r *Round) releasePayloads() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.updates {
+		if p := r.updates[i].Payload; p != nil {
+			p.Release()
+			r.updates[i].Payload = nil
+		}
+	}
+}
+
 // takeAssigned returns a copy of the device IDs holding this round's
 // task, for terminal cleanup (copied so the registry release loop runs
 // without the round lock).

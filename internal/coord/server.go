@@ -402,12 +402,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 }
 
 // binarySubmission parses a binary /v1/update: metadata from X-Flint-*
-// headers, the delta decoded from the body as a stream — the 16-byte
-// codec header is read and validated (scheme, declared dimension against
-// the model) before the payload is pulled into a pooled buffer of exactly
+// headers, the delta read from the body as a stream — the 16-byte codec
+// header is read and validated (scheme, declared dimension against the
+// model) before the payload is pulled into a pooled buffer of exactly
 // the payload size, so the server never holds more than one in-flight
 // body copy per device and an oversize or wrong-shaped body dies before
-// it is buffered.
+// it is buffered. The payload is NOT decoded here: it rides the ingest
+// queue in wire form and the pooled buffer returns to the codec pool
+// when its round goes terminal.
 func (s *Server) binarySubmission(w http.ResponseWriter, r *http.Request) (Submission, error) {
 	id, err := strconv.ParseInt(r.Header.Get(hdrDevice), 10, 64)
 	if err != nil {
@@ -439,7 +441,11 @@ func (s *Server) binarySubmission(w http.ResponseWriter, r *http.Request) (Submi
 		return Submission{}, errBodyTooLarge
 	}
 	body := http.MaxBytesReader(w, r.Body, maxUpdateBody+1)
-	delta, _, err := codec.DecodeFrom(body, s.c.dim)
+	// The update stays in wire form: header-validated, CRC-checked, and
+	// handed to the commit pipeline as a pooled payload view the fused
+	// kernels aggregate from directly — the zero-copy half of the ingest
+	// path (no per-update make([]float64, dim) here at all).
+	payload, err := codec.DecodePayloadFrom(body, s.c.dim)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -454,8 +460,10 @@ func (s *Server) binarySubmission(w http.ResponseWriter, r *http.Request) (Submi
 	var tooBig *http.MaxBytesError
 	switch {
 	case errors.As(rerr, &tooBig):
+		payload.Release()
 		return Submission{}, errBodyTooLarge
 	case n != 0:
+		payload.Release()
 		return Submission{}, fmt.Errorf("bad tensor body: trailing bytes after frame")
 	}
 	return Submission{
@@ -463,7 +471,7 @@ func (s *Server) binarySubmission(w http.ResponseWriter, r *http.Request) (Submi
 		RoundID:     round,
 		BaseVersion: base,
 		Weight:      weight,
-		Delta:       delta,
+		Payload:     payload,
 	}, nil
 }
 

@@ -4,6 +4,7 @@
 package flint_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -434,6 +435,142 @@ func BenchmarkCoordUpdateSubmit(b *testing.B) {
 		b.Fatal("no updates accepted: benchmark is measuring the rejection path")
 	}
 	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "commits/sec")
+}
+
+// BenchmarkCommitLatency is the zero-copy commit path's headline number:
+// one full ingest→commit cycle on the 189k-param model — 16 devices
+// request tasks, submit q8 updates in wire form, and the pipeline
+// aggregates straight out of the pooled payload bytes (fused dequantize +
+// weight + reduce + non-finite screen in one pass) and publishes. The
+// materialize-then-reduce baseline — decode every update to a fresh dense
+// vector at ingress, as the pipeline did before the fused kernels — runs
+// in setup over the same blobs and is reported as materialized_ns/op,
+// materialized_B/op, and the speedup ratio (acceptance: ≥1.5x ns/op,
+// ≥50% fewer bytes). Both numbers include the whole pipeline (snapshot
+// build, broadcast encode, store insert), so the ratio understates the
+// ingest-side win rather than inflating it.
+func BenchmarkCommitLatency(b *testing.B) {
+	const (
+		dim     = 189_039
+		devices = 16
+	)
+	c, err := coord.New(coord.Config{
+		Mode:          coord.ModeSync,
+		ModelKind:     model.KindB, // 189k params
+		Seed:          1,
+		TargetUpdates: devices,
+		Quorum:        devices,
+		OverCommit:    1, // each device holds exactly one task per round
+		RoundDeadline: time.Hour,
+		QueueDepth:    64,
+		KeepVersions:  4, // bound store growth across b.N commits
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for id := int64(1); id <= devices; id++ {
+		c.CheckIn(coord.DeviceInfo{
+			ID: id, Model: "Pixel-6", Platform: "Android",
+			WiFi: true, BatteryHigh: true, ModernOS: true,
+			SessionSec: 3600, Weight: 10,
+		})
+	}
+	// Pre-encoded q8 update blobs (the live uplink default): the bench
+	// measures the server's commit path, not the device-side encode.
+	rng := rand.New(rand.NewSource(21))
+	blobs := make([][]byte, devices)
+	for d := range blobs {
+		v := tensor.NewVector(dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 0.01
+		}
+		blob, err := codec.Encode(v, codec.Q8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blobs[d] = blob
+	}
+
+	// round drives one full commit: every device requests its task and
+	// submits, then the caller's clock runs until the version advances.
+	// makeSub builds a fresh Submission per attempt — SubmitUpdate takes
+	// payload ownership on every outcome, so a Submission is single-use.
+	round := func(makeSub func(d int, task coord.Task) coord.Submission) {
+		want := c.Version() + 1
+		for d := 0; d < devices; d++ {
+			id := int64(d + 1)
+			var task coord.Task
+			for {
+				t, err := c.RequestTask(id)
+				if err == nil {
+					task = t
+					break
+				}
+				if !errors.Is(err, coord.ErrNoTask) {
+					b.Fatal(err)
+				}
+				runtime.Gosched() // commit in flight; next round opens shortly
+			}
+			for {
+				err := c.SubmitUpdate(makeSub(d, task))
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, coord.ErrBusy) {
+					b.Fatal(err)
+				}
+				runtime.Gosched()
+			}
+		}
+		for c.Version() < want {
+			runtime.Gosched()
+		}
+	}
+
+	// Materialize-then-reduce reference: decode each wire blob into a
+	// fresh dense vector (the old ingress) and submit that.
+	const refRounds = 3
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for i := 0; i < refRounds; i++ {
+		round(func(d int, task coord.Task) coord.Submission {
+			v, _, err := codec.Decode(blobs[d])
+			if err != nil {
+				b.Fatal(err)
+			}
+			return coord.Submission{
+				DeviceID: int64(d + 1), RoundID: task.RoundID,
+				BaseVersion: task.BaseVersion, Weight: 1, Delta: v,
+			}
+		})
+	}
+	matNs := float64(time.Since(t0).Nanoseconds()) / refRounds
+	runtime.ReadMemStats(&ms1)
+	matBytes := float64(ms1.TotalAlloc-ms0.TotalAlloc) / refRounds
+
+	// Zero-copy path: the pooled payload rides the queue in wire form and
+	// the fused q8 kernel reduces straight out of it.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round(func(d int, task coord.Task) coord.Submission {
+			p, err := codec.DecodePayloadFrom(bytes.NewReader(blobs[d]), dim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return coord.Submission{
+				DeviceID: int64(d + 1), RoundID: task.RoundID,
+				BaseVersion: task.BaseVersion, Weight: 1, Payload: p,
+			}
+		})
+	}
+	b.StopTimer()
+	fusedNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(matNs, "materialized_ns/op")
+	b.ReportMetric(matBytes, "materialized_B/op")
+	b.ReportMetric(matNs/fusedNs, "speedup")
 }
 
 // BenchmarkTaskServeDuringCommit measures the headline serving claim of

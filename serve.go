@@ -194,6 +194,31 @@ func DecodeTensorFrom(r io.Reader, wantDim int) ([]float64, TensorScheme, error)
 	return v, s, err
 }
 
+// TensorPayload is a validated view over one codec blob that defers
+// decoding: the commit pipeline aggregates straight out of the wire bytes
+// through fused per-scheme kernels instead of materializing a dense
+// vector per update. Obtain one with DecodeTensorPayloadFrom (streaming,
+// pooled backing buffer — Release it when done) or ParseTensorPayload
+// (zero-copy view over a blob already in memory). See DESIGN.md §13.
+type TensorPayload = codec.Payload
+
+// DecodeTensorPayloadFrom reads exactly one framed codec blob from r —
+// same framing, validation, and single-copy buffering as
+// DecodeTensorFrom — but returns the payload in wire form instead of
+// decoding it. The payload retains its pooled buffer: call Release when
+// done (handing it to Coordinator.SubmitUpdate transfers that
+// obligation).
+func DecodeTensorPayloadFrom(r io.Reader, wantDim int) (*TensorPayload, error) {
+	return codec.DecodePayloadFrom(r, wantDim)
+}
+
+// ParseTensorPayload validates blob (header, checksum, structure) and
+// returns a zero-copy payload view over it; blob must stay immutable for
+// the payload's lifetime. Release is a no-op for parsed payloads.
+func ParseTensorPayload(blob []byte) (*TensorPayload, error) {
+	return codec.ParsePayload(blob)
+}
+
 // Server-side aggregation strategies (internal/aggregator): the kernels
 // the coordinator's commit pipeline folds device updates with.
 type (
