@@ -14,16 +14,18 @@
 //	 "gomaxprocs": 8, "num_cpu": 8}}
 //
 // With -baseline and -gate it additionally acts as the perf regression
-// gate: after writing the fresh document it compares the gated
+// gate: after writing the fresh document it compares each gated
 // benchmark's ns_per_op and allocs_per_op against the baseline file and
-// exits nonzero when either regressed beyond -tolerance. The comparison
+// exits nonzero when any regressed beyond -tolerance. -gate repeats to
+// gate several benchmarks in one run (sub-benchmarks gate by their full
+// name, e.g. BenchmarkShardedRoundThroughput/shards=4). The comparison
 // is skipped (with a notice) when the baseline was recorded on a machine
 // with a different num_cpu — cross-hardware deltas are not regressions.
 //
 // Usage:
 //
 //	go test -run '^$' -bench ... | flint-benchjson [-out file] [-match regex]
-//	    [-baseline old.json] [-gate BenchmarkName] [-tolerance 0.20]
+//	    [-baseline old.json] [-gate BenchmarkName]... [-tolerance 0.20]
 package main
 
 import (
@@ -99,11 +101,25 @@ func gate(results, baseline map[string]map[string]float64, name string, tol floa
 	return bad
 }
 
+// gateList collects repeated -gate flags.
+type gateList []string
+
+func (g *gateList) String() string { return strings.Join(*g, ",") }
+
+func (g *gateList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty benchmark name")
+	}
+	*g = append(*g, v)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	match := flag.String("match", "", "only record benchmarks whose name matches this regex")
 	baselinePath := flag.String("baseline", "", "baseline JSON for the regression gate")
-	gateName := flag.String("gate", "", "benchmark name to gate against -baseline")
+	var gateNames gateList
+	flag.Var(&gateNames, "gate", "benchmark name to gate against -baseline (repeatable)")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional regression before the gate fails")
 	flag.Parse()
 
@@ -174,7 +190,7 @@ func main() {
 
 	// The gate runs after the write, so a failing run still records its
 	// numbers — the artifact is the evidence for debugging the failure.
-	if *gateName == "" {
+	if len(gateNames) == 0 {
 		return
 	}
 	if *baselinePath == "" {
@@ -189,11 +205,17 @@ func main() {
 	if err := json.Unmarshal(blob, &baseline); err != nil {
 		log.Fatalf("flint-benchjson: gate: parse baseline %s: %v", *baselinePath, err)
 	}
-	if bad := gate(results, baseline, *gateName, *tolerance); len(bad) > 0 {
+	// All gates run before any verdict, so one failing benchmark can't
+	// hide regressions in the ones after it.
+	var bad []string
+	for _, name := range gateNames {
+		bad = append(bad, gate(results, baseline, name, *tolerance)...)
+	}
+	if len(bad) > 0 {
 		for _, msg := range bad {
 			fmt.Fprintln(os.Stderr, "flint-benchjson: REGRESSION: "+msg)
 		}
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "flint-benchjson: gate: %s within tolerance\n", *gateName)
+	fmt.Fprintf(os.Stderr, "flint-benchjson: gate: %s within tolerance\n", gateNames.String())
 }

@@ -14,6 +14,11 @@
 // tenants — "-jobs ads,messaging=s3cret" drives half the devices at job
 // ads and half at job messaging (authenticating with its token), with
 // disjoint device IDs per job.
+//
+// Against a sharded coordination tier, -gateway points the same fleet at
+// cmd/flint-gateway: the run waits for the tier to report healthy, then
+// drives rounds through the gateway's device routing — every other flag
+// (churn, bandwidth, fractions) works unchanged.
 package main
 
 import (
@@ -45,6 +50,7 @@ func main() {
 	traceScale := flag.Float64("trace-scale", 60, "churn: trace seconds replayed per wall second")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall run deadline")
 	jobs := flag.String("jobs", "", "multi-tenant: comma-separated job list (name or name=token); devices split evenly across jobs with disjoint IDs")
+	gateway := flag.Bool("gateway", false, "-server is a shard-tier gateway (flint-gateway): wait for tier health, then watch the rollup for round progress")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	flag.Parse()
 
@@ -68,6 +74,7 @@ func main() {
 		Churn:          *churn,
 		TraceScale:     *traceScale,
 		Timeout:        *timeout,
+		Gateway:        *gateway,
 	}
 	if *jobs != "" {
 		runJobs(base, *jobs, *jsonOut)
@@ -83,7 +90,10 @@ func main() {
 			}
 		} else {
 			fmt.Print(rep.String())
-			if st := rep.FinalStatus; st != nil {
+			// The per-server counter block only applies to a flat
+			// coordinator: a gateway's rollup carries tier state
+			// instead, already rendered by the report line above.
+			if st := rep.FinalStatus; st != nil && rep.TierShards == 0 {
 				fmt.Printf("  server: mode=%s model=%s committed=%d abandoned=%d accepted=%d shed=%d\n",
 					st.Mode, st.ModelKind, st.Counters["rounds_committed"],
 					st.Counters["rounds_abandoned"], st.Counters["update_accepted"],

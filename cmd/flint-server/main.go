@@ -25,6 +25,7 @@ import (
 	"flint/internal/coord"
 	"flint/internal/model"
 	"flint/internal/sched"
+	"flint/internal/shard"
 	"flint/internal/tenant"
 	"flint/internal/transport"
 )
@@ -66,6 +67,9 @@ func main() {
 	schedAlpha := flag.Float64("sched-alpha", 0.3, "telemetry EWMA smoothing factor")
 	schedMaxOC := flag.Float64("sched-max-overcommit", 3, "cap on the deadline-driven sync assignment multiplier")
 	schedRebuild := flag.Duration("sched-rebuild", 2*time.Second, "scheduler fleet-view rebuild period")
+	exchange := flag.String("exchange", "", "shard mode: gateway base URL for the tier exchange (the server becomes one replica of a sharded tier)")
+	shardID := flag.Int("shard-id", 0, "shard mode: this replica's index on the gateway's ring")
+	shardHB := flag.Duration("shard-heartbeat", time.Second, "shard mode: tier heartbeat interval (must be well under the leader's grace window)")
 	persistBarrier := flag.Int("persist-barrier", 8, "fsync the write-behind snapshot every N commits (negative disables the barrier)")
 	storeDir := flag.String("store-dir", "", "persist published model versions to this directory")
 	keepVersions := flag.Int("keep-versions", 8, "published model versions to retain (negative keeps all)")
@@ -132,6 +136,14 @@ func main() {
 		StoreDir:       *storeDir,
 		KeepVersions:   *keepVersions,
 	}
+	if *exchange != "" {
+		// Shard mode: commits reduce to partials shipped to the tier
+		// leader behind the gateway, and a heartbeat keeps this replica
+		// counted in the tier's membership (stop pinging and the tier
+		// halts — the paper's §3.4 rule run horizontally).
+		cfg.Exchange = shard.NewHTTPExchange(*exchange)
+		cfg.ShardID = *shardID
+	}
 	// Every server is a tenant registry now: without -jobs it hosts one
 	// flag-derived default job and the bare /v1 API behaves exactly as
 	// before; with -jobs each spec overlays the flag config.
@@ -154,6 +166,11 @@ func main() {
 		if _, err := reg.Register(sp); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *exchange != "" {
+		hb := shard.StartHeartbeat(shard.NewHTTPExchange(*exchange), *shardID, *shardHB)
+		defer hb.Stop()
+		fmt.Printf("shard %d of tier at %s (heartbeat every %s)\n", *shardID, *exchange, *shardHB)
 	}
 
 	if *statusEvery > 0 {

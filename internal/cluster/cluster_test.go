@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 
 // testCluster boots a leader and n executors over loopback TCP, splitting
 // the client shards round-robin as §3.4 prescribes.
-func testCluster(t *testing.T, n int, clients int) (*Leader, []*Executor, func()) {
+func testCluster(t *testing.T, n int, clients int) (*Leader, []*Executor, string, func()) {
 	t.Helper()
 	gen, err := data.NewAdsGenerator(data.DefaultAdsConfig(clients, 11))
 	if err != nil {
@@ -48,11 +49,11 @@ func testCluster(t *testing.T, n int, clients int) (*Leader, []*Executor, func()
 		}
 		closeFn()
 	}
-	return leader, execs, cleanup
+	return leader, execs, addr, cleanup
 }
 
 func TestRoundAcrossExecutors(t *testing.T) {
-	leader, _, cleanup := testCluster(t, 3, 12)
+	leader, _, _, cleanup := testCluster(t, 3, 12)
 	defer cleanup()
 
 	global, err := model.New(model.KindB, 5)
@@ -76,7 +77,7 @@ func TestRoundAcrossExecutors(t *testing.T) {
 }
 
 func TestMissingClientReportsError(t *testing.T) {
-	leader, _, cleanup := testCluster(t, 2, 4)
+	leader, _, _, cleanup := testCluster(t, 2, 4)
 	defer cleanup()
 	global, _ := model.New(model.KindB, 1)
 	// Client 99 exists on no executor: every executor that pulls it
@@ -88,7 +89,7 @@ func TestMissingClientReportsError(t *testing.T) {
 }
 
 func TestHaltOnUnhealthyExecutor(t *testing.T) {
-	leader, execs, cleanup := testCluster(t, 2, 8)
+	leader, execs, _, cleanup := testCluster(t, 2, 8)
 	defer cleanup()
 
 	// Stall one executor; after the grace period the leader must halt.
@@ -122,6 +123,120 @@ func TestHaltOnUnhealthyExecutor(t *testing.T) {
 	global, _ := model.New(model.KindB, 2)
 	if _, err := leader.RunRound(global, []int64{0, 1}, 1, 8, 0.1, 3, 20*time.Second); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestExecutorDeathMidRoundHaltsAndRecovers is the hard-failure variant
+// of the halt drill: an executor dies outright (connection closed, not
+// merely stalled) while a round is in flight. The leader must freeze
+// dispatch for everyone once the grace window lapses, keep the dead
+// executor's tasks queued, and finish the parked round when a
+// replacement process registers the same partition and starts pinging.
+func TestExecutorDeathMidRoundHaltsAndRecovers(t *testing.T) {
+	const execsN, clients = 2, 8
+	leader, execs, addr, cleanup := testCluster(t, execsN, clients)
+	defer cleanup()
+
+	// Executor A dies before it can poll anything: its partition's tasks
+	// are permanently stuck until a replacement shows up, which makes
+	// the mid-round halt deterministic (no task is lost in flight).
+	execs[0].Stop()
+
+	global, err := model.New(model.KindB, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundClients := []int64{0, 1, 2, 3, 4, 5}
+	roundDone := make(chan error, 1)
+	go func() {
+		n, err := leader.RunRound(global, roundClients, 1, 8, 0.1, 7, 20*time.Second)
+		if err == nil && n != len(roundClients) {
+			err = fmt.Errorf("aggregated %d of %d", n, len(roundClients))
+		}
+		roundDone <- err
+	}()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for leader.Healthy() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if leader.Healthy() {
+		t.Fatal("leader never noticed the dead executor")
+	}
+	// Dispatch is frozen for the surviving executor too — the paper's
+	// rule halts the round, it does not shrink it.
+	var poll PollReply
+	if err := leader.PollTask(&PollArgs{ExecutorID: "B"}, &poll); err != nil {
+		t.Fatal(err)
+	}
+	if !poll.Halted {
+		t.Fatal("dispatch must halt for every executor while one is dead")
+	}
+	select {
+	case err := <-roundDone:
+		t.Fatalf("round finished during the halt: %v", err)
+	default:
+	}
+
+	// A replacement process loads the same partition, registers under
+	// the dead executor's id, and starts pinging: membership heals and
+	// the parked round drains.
+	gen, err := data.NewAdsGenerator(data.DefaultAdsConfig(clients, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := partition.RoundRobin(gen.GenerateClients(clients), execsN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replacement, err := NewExecutor("A", addr, parts[0].Shards, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int64, 0, len(parts[0].Shards))
+	for _, s := range parts[0].Shards {
+		owned = append(owned, s.ClientID)
+	}
+	leader.Register(replacement.ID, owned)
+	replacement.Start()
+	defer replacement.Stop()
+
+	if err := <-roundDone; err != nil {
+		t.Fatalf("parked round failed after recovery: %v", err)
+	}
+	if !leader.Healthy() {
+		t.Fatal("leader still unhealthy after the replacement registered")
+	}
+}
+
+// TestHaltedPollLeavesQueueIntact pins the recovery contract at the
+// queue level: a halted poll must not consume pending tasks, and the
+// very first poll after a reviving re-ping hands out the parked task.
+func TestHaltedPollLeavesQueueIntact(t *testing.T) {
+	leader := NewLeader(50 * time.Millisecond)
+	leader.Register("A", []int64{1})
+	ids := leader.Enqueue([]Task{{ClientID: 1, Kind: "A"}})
+
+	time.Sleep(80 * time.Millisecond) // grace lapses: A counts as lost
+	var poll PollReply
+	if err := leader.PollTask(&PollArgs{ExecutorID: "A"}, &poll); err != nil {
+		t.Fatal(err)
+	}
+	if !poll.Halted || poll.Available {
+		t.Fatalf("stale-membership poll got %+v, want halted and empty", poll)
+	}
+
+	// One re-ping revives membership; the task parked, it did not drop.
+	var pong PingReply
+	if err := leader.Ping(&PingArgs{ExecutorID: "A"}, &pong); err != nil {
+		t.Fatal(err)
+	}
+	poll = PollReply{}
+	if err := leader.PollTask(&PollArgs{ExecutorID: "A"}, &poll); err != nil {
+		t.Fatal(err)
+	}
+	if poll.Halted || !poll.Available || poll.Task.TaskID != ids[0] {
+		t.Fatalf("post-recovery poll got %+v, want task %d", poll, ids[0])
 	}
 }
 

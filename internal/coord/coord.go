@@ -121,6 +121,24 @@ type Config struct {
 	// label-only behavior.
 	Sched sched.Config
 
+	// Exchange, when non-nil, puts the coordinator in hierarchical
+	// (shard) mode: a ready round is reduced to a weighted partial —
+	// through the same fused payload kernels a local commit uses — and
+	// shipped through the exchange as a wire-form codec blob instead of
+	// being folded into this replica's own params. The global model
+	// advances only when an exchange response carries a newer version
+	// (internal/shard's Leader is the other side). Requires ModeSync:
+	// the tier's cross-shard fold is where async staleness handling
+	// lives.
+	Exchange PartialExchange
+	// ExchangeJob names this coordinator's job on the tier exchange, so
+	// one leader can reduce several tenants' partials. The tenant
+	// registry sets it to the job name; empty means the default job.
+	ExchangeJob string
+	// ShardID identifies this replica on the tier exchange (its index
+	// in the gateway's consistent-hash ring).
+	ShardID int
+
 	// PersistBarrier makes every Nth committed version an fsync-ed
 	// write-behind flush, bounding how many snapshots a host crash can
 	// lose to the page cache (0 = default 8; negative disables the
@@ -208,6 +226,14 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.StalenessAlpha < 0 {
 		return c, fmt.Errorf("coord: negative staleness alpha %v", c.StalenessAlpha)
+	}
+	if c.Exchange != nil {
+		if c.Mode != ModeSync {
+			return c, fmt.Errorf("coord: hierarchical (shard) mode requires sync rounds, got %s", c.Mode)
+		}
+		if c.ShardID < 0 {
+			return c, fmt.Errorf("coord: negative shard id %d", c.ShardID)
+		}
 	}
 	if c.LocalSteps <= 0 {
 		c.LocalSteps = 20

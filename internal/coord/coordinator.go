@@ -258,8 +258,11 @@ type Coordinator struct {
 	done    chan struct{}
 	// loopWG tracks the ingest worker and watchdog; persistWG tracks the
 	// write-behind worker, which drains after the loops stop so Close
-	// never loses a queued disk write.
+	// never loses a queued disk write. exchWG tracks hierarchical-mode
+	// exchange goroutines (at most one in flight: a parked round blocks
+	// its successor until its install lands).
 	loopWG    sync.WaitGroup
+	exchWG    sync.WaitGroup
 	persistWG sync.WaitGroup
 	closed    atomic.Bool
 }
@@ -366,6 +369,9 @@ func New(cfg Config) (*Coordinator, error) {
 	} {
 		c.counters.Counter(name)
 	}
+	for _, name := range exchangeCounters {
+		c.counters.Counter(name)
+	}
 	r := c.newRound(1, bs, cfg.Clock())
 	c.serving.Store(&serving{round: r, bcast: bs})
 	c.roundID.Store(1)
@@ -398,6 +404,9 @@ func (c *Coordinator) Close() {
 	if c.closed.CompareAndSwap(false, true) {
 		close(c.done)
 		c.loopWG.Wait()
+		// The loops spawn exchange goroutines, so they stop first; an
+		// in-flight install may still be publishing under mu.
+		c.exchWG.Wait()
 		// No commit can run past this point, so the persist channel has
 		// no senders left; closing it drains the worker cleanly.
 		close(c.persist)
@@ -1005,6 +1014,12 @@ func (c *Coordinator) commitLocked(r *Round, now time.Time) {
 		c.counters.Counter("round_fsm_error").Inc()
 		return
 	}
+	if c.cfg.Exchange != nil {
+		// Hierarchical mode: reduce the round to a weighted partial and
+		// ship it to the tier leader instead of committing locally.
+		c.partialLocked(r, bs, updates, now)
+		return
+	}
 	// Stage 1: parallel tree-reduction aggregation, with the non-finite
 	// screen fused into each worker's range (the ingress screen in
 	// SubmitUpdate only sees individual updates; finite deltas can still
@@ -1025,35 +1040,42 @@ func (c *Coordinator) commitLocked(r *Round, now time.Time) {
 		c.abortCommitLocked(r, bs, nil, "round_aggregate_error", now)
 		return
 	}
-	// Stage 2: build the successor broadcast plane. A failure here (or in
-	// stage 3's serialize/insert) is a publish failure: devices could not
-	// fetch the version we would be announcing, so roll the aggregation
-	// back and drop the round.
-	v := bs.version + 1
+	if c.publishLocked(r, bs, bs.version+1, now) {
+		c.counters.Counter("updates_aggregated").Add(int64(len(updates)))
+	}
+}
+
+// publishLocked runs the commit pipeline's publish stages for freshly
+// updated global params becoming version v (stage 2: successor
+// broadcast plane; stage 3: store insert, serving swap, write-behind
+// persist). Both the local aggregation path and the hierarchical
+// install path end here. A failure is a publish failure: devices could
+// not fetch the version we would be announcing, so the params roll back
+// to the current plane's published snapshot and the round drops.
+// Callers hold mu.
+func (c *Coordinator) publishLocked(r *Round, bs *broadcastState, v int, now time.Time) bool {
 	next, err := c.buildBroadcast(bs, v, now)
 	if err != nil {
-		c.abortCommitLocked(r, bs, params, "round_publish_error", now)
-		return
+		c.abortCommitLocked(r, bs, c.global.Params(), "round_publish_error", now)
+		return false
 	}
-	// Stage 3: publish. The serialized snapshot lands in the store's
-	// memory before the serving swap (tasks must never reference a
-	// version the store cannot answer for); the disk write rides the
-	// write-behind queue.
+	// The serialized snapshot lands in the store's memory before the
+	// serving swap (tasks must never reference a version the store
+	// cannot answer for); the disk write rides the write-behind queue.
 	var buf bytes.Buffer
 	if err := model.Save(c.global, &buf); err != nil {
-		c.abortCommitLocked(r, bs, params, "round_publish_error", now)
-		return
+		c.abortCommitLocked(r, bs, c.global.Params(), "round_publish_error", now)
+		return false
 	}
 	if err := c.store.PutAt(c.cfg.ModelName, v, buf.Bytes()); err != nil {
-		c.abortCommitLocked(r, bs, params, "round_publish_error", now)
-		return
+		c.abortCommitLocked(r, bs, c.global.Params(), "round_publish_error", now)
+		return false
 	}
 	if err := r.conclude(PhaseCommitted); err != nil {
 		c.counters.Counter("round_fsm_error").Inc()
 	}
 	c.version.Store(int64(v))
 	c.counters.Counter("rounds_committed").Inc()
-	c.counters.Counter("updates_aggregated").Add(int64(len(updates)))
 	c.finishLocked(r, v, next, now)
 	prune := 0
 	if c.cfg.KeepVersions > 0 {
@@ -1064,6 +1086,7 @@ func (c *Coordinator) commitLocked(r *Round, now time.Time) {
 	c.counters.Counter("publish_pending").Inc()
 	barrier := c.cfg.PersistBarrier > 0 && v%c.cfg.PersistBarrier == 0
 	c.persist <- persistReq{version: v, prune: prune, barrier: barrier}
+	return true
 }
 
 // abortCommitLocked is the commit pipeline's failure exit: it rolls the

@@ -39,6 +39,15 @@ type FleetConfig struct {
 	// Token is the job's bearer token, sent as Authorization: Bearer on
 	// every request when non-empty.
 	Token string
+	// Gateway marks BaseURL as a shard-tier gateway (cmd/flint-gateway)
+	// rather than a single coordinator: the fleet waits for the tier's
+	// membership to report healthy before launching devices and watches
+	// the gateway's rollup for round progress (the rollup's top-level
+	// version is the tier's global version for the routed job). Device
+	// traffic itself is unchanged — the gateway routes every request to
+	// the device's owning shard transparently, so the churn/bandwidth
+	// flags exercise the tier exactly as they do a flat server.
+	Gateway bool
 	// IDOffset shifts the fleet's device IDs (1..Devices become
 	// IDOffset+1..IDOffset+Devices) so concurrent fleets driving
 	// different jobs of one server use disjoint identities.
@@ -219,6 +228,9 @@ type FleetReport struct {
 	UpdateLatency  LatencySummary `json:"update_latency"`
 	// FinalStatus is the server's status snapshot at fleet shutdown.
 	FinalStatus *StatusReport `json:"final_status,omitempty"`
+	// TierShards is the shard count of the gateway tier the fleet drove
+	// (0 when the fleet targeted a flat server).
+	TierShards int `json:"tier_shards,omitempty"`
 }
 
 // String renders the operator-facing summary cmd/flint-fleet prints.
@@ -226,6 +238,9 @@ func (r *FleetReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet: %d devices (%d delta-capable, %d legacy binary, %d json) drove v%d → v%d (%d rounds) in %.2fs\n",
 		r.Devices, r.BinaryDevices, r.LegacyDevices, r.JSONDevices, r.StartVersion, r.EndVersion, r.RoundsCommitted, r.Wall.Seconds())
+	if r.TierShards > 0 {
+		fmt.Fprintf(&b, "  tier: routed through a %d-shard gateway\n", r.TierShards)
+	}
 	fmt.Fprintf(&b, "  requests: %d check-ins, %d tasks (%d delta), %d updates accepted, %d rejected, %d net errors (%.0f req/s)\n",
 		r.CheckIns, r.TasksReceived, r.DeltaTasks, r.UpdatesAccepted, r.UpdatesRejected, r.NetErrors, r.RequestsPerSec)
 	perDev := func(total int64) string {
@@ -387,6 +402,14 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	defer cancel()
 	start := time.Now()
+	tierShards := 0
+	if cfg.Gateway {
+		tier, err := waitTierHealthy(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		tierShards = tier.Tier.Shards
+	}
 	startStatus, err := fetchStatus(ctx, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("coord: fleet cannot reach server: %w", err)
@@ -478,6 +501,7 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 		TaskLatency:     summarizeLatency(task),
 		UpdateLatency:   summarizeLatency(update),
 		FinalStatus:     &endStatus,
+		TierShards:      tierShards,
 	}
 	if !reached {
 		return rep, fmt.Errorf("coord: fleet timed out at version %d (wanted %d)", endStatus.Version, targetVersion)
@@ -877,6 +901,13 @@ func (d *fleetDevice) submitBinary(ctx context.Context, cfg FleetConfig, task *T
 }
 
 func fetchStatus(ctx context.Context, cfg FleetConfig) (*StatusReport, error) {
+	if cfg.Gateway {
+		tier, err := fetchTier(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &StatusReport{Version: tier.Version}, nil
+	}
 	var st StatusReport
 	code, err := doJSON(ctx, cfg, http.MethodGet, cfg.api("/status"), nil, &st, nil)
 	if err != nil {
@@ -886,6 +917,53 @@ func fetchStatus(ctx context.Context, cfg FleetConfig) (*StatusReport, error) {
 		return nil, fmt.Errorf("coord: status returned HTTP %d", code)
 	}
 	return &st, nil
+}
+
+// tierProbe is the slice of the gateway rollup the fleet needs: the
+// tier's global version for progress watching plus enough membership to
+// gate the start on health. Decoded locally because coord cannot import
+// internal/shard (the shard tier builds on this package).
+type tierProbe struct {
+	Version int `json:"version"`
+	Tier    struct {
+		Shards  int  `json:"shards"`
+		Healthy bool `json:"healthy"`
+	} `json:"tier"`
+}
+
+// fetchTier reads the gateway's /v1/status rollup. The rollup is always
+// served with HTTP 200 — tier health is a field, not a status code — so
+// a transport or non-200 result means the gateway itself is unreachable.
+func fetchTier(ctx context.Context, cfg FleetConfig) (*tierProbe, error) {
+	var tp tierProbe
+	code, err := doJSON(ctx, cfg, http.MethodGet, cfg.BaseURL+"/v1/status", nil, &tp, nil)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("coord: gateway rollup returned HTTP %d", code)
+	}
+	return &tp, nil
+}
+
+// waitTierHealthy blocks until the gateway reports every shard inside
+// its heartbeat grace window. Launching devices into a halted tier would
+// only measure the halt gate's 503s, so the fleet gates its start here.
+func waitTierHealthy(ctx context.Context, cfg FleetConfig) (*tierProbe, error) {
+	for {
+		tier, err := fetchTier(ctx, cfg)
+		if err == nil && tier.Tier.Healthy {
+			return tier, nil
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("tier still unhealthy (%d shards)", tier.Tier.Shards)
+			}
+			return nil, fmt.Errorf("coord: fleet gave up waiting for tier health: %w (%v)", ctx.Err(), err)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
 }
 
 // doJSON issues one JSON request and decodes the body when the status code

@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// Pinger is the heartbeat half of the tier exchange: the in-process
+// Leader and the HTTP exchange client both implement it.
+type Pinger interface {
+	Ping(shardID int) error
+}
+
+// Heartbeat is a shard replica's membership pump: a background loop
+// pinging the tier leader so the shard counts as live. A replica that
+// dies (or partitions) simply stops pinging and ages out of the
+// leader's grace window — no explicit deregistration protocol, which
+// is exactly what makes the halt rule robust to crashes.
+type Heartbeat struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// StartHeartbeat begins pinging the exchange as shardID every
+// interval. The first ping fires immediately, so a freshly booted
+// tier converges to healthy in one interval, not two. Ping errors are
+// dropped: a dead leader makes the ping fail AND the tier halt, and
+// the loop's job is only to keep trying until the leader hears us.
+func StartHeartbeat(p Pinger, shardID int, interval time.Duration) *Heartbeat {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	h := &Heartbeat{stop: make(chan struct{})}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		p.Ping(shardID)
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				p.Ping(shardID)
+			}
+		}
+	}()
+	return h
+}
+
+// Stop ends the heartbeat loop and waits for it to exit. Idempotent.
+func (h *Heartbeat) Stop() {
+	h.once.Do(func() { close(h.stop) })
+	h.wg.Wait()
+}

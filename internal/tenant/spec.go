@@ -226,7 +226,21 @@ func (s JobSpec) coordConfig(base coord.Config) (coord.Config, error) {
 		return cfg, fmt.Errorf("tenant: job %s lowbw cohort: %w", s.Name, err)
 	}
 	cfg.MaxDevices = s.MaxDevices
+	if cfg.Exchange != nil {
+		// A sharded multi-tenant server keys every partial by job name,
+		// so one tier leader can reduce several tenants independently.
+		cfg.ExchangeJob = s.Name
+	}
 	return cfg, nil
+}
+
+// CoordConfig overlays the spec on a base serving configuration — the
+// same derivation Register performs — so tier peers that must agree
+// with a job's coordinators on model identity (the shard gateway's
+// leader builds each job's initial global params) derive it from the
+// same spec file instead of duplicating the overlay rules.
+func (s JobSpec) CoordConfig(base coord.Config) (coord.Config, error) {
+	return s.coordConfig(base)
 }
 
 // LoadSpecs parses a jobs file: a JSON array of job specs (or an object

@@ -8,6 +8,7 @@ import (
 	"flint/internal/codec"
 	"flint/internal/coord"
 	"flint/internal/sched"
+	"flint/internal/shard"
 	"flint/internal/tenant"
 	"flint/internal/tensor"
 	"flint/internal/transport"
@@ -241,3 +242,57 @@ func FedAvgStrategy() AggregatorStrategy { return aggregator.FedAvg{} }
 func FedBuffStrategy(serverLR, alpha float64) AggregatorStrategy {
 	return aggregator.FedBuff{ServerLR: serverLR, Alpha: alpha}
 }
+
+// Sharded coordination tier (internal/shard): N coordinator replicas
+// each owning a consistent-hash slice of the device-id space behind a
+// routing gateway, with hierarchical zero-copy commits — shards reduce
+// their cohorts to wire-form partials and the tier leader folds them
+// across shards. See DESIGN.md §14.
+type (
+	// ShardRing is the consistent-hash device→shard map.
+	ShardRing = shard.Ring
+	// ShardLeader folds shard partials into the tier's global model and
+	// enforces halt-until-healthy membership.
+	ShardLeader = shard.Leader
+	// ShardLeaderConfig parameterizes the tier leader.
+	ShardLeaderConfig = shard.LeaderConfig
+	// ShardGateway routes the /v1 device API by device id and hosts the
+	// leader's /shard/v1 exchange.
+	ShardGateway = shard.Gateway
+	// ShardGatewayConfig parameterizes the gateway.
+	ShardGatewayConfig = shard.GatewayConfig
+	// ShardHTTPExchange is a replica's client on the tier exchange.
+	ShardHTTPExchange = shard.HTTPExchange
+	// ShardHeartbeat is a replica's background membership pump.
+	ShardHeartbeat = shard.Heartbeat
+	// TierStatus is the leader's membership/exchange snapshot.
+	TierStatus = shard.TierStatus
+	// TierRollup is the gateway's /v1/status payload.
+	TierRollup = shard.Rollup
+	// TierPartial is one shard's reduced round contribution on the
+	// exchange (a wire-form codec blob plus fold metadata).
+	TierPartial = coord.PartialCommit
+	// TierInstall is the leader's response: the current global version,
+	// with the full raw64 parameter blob when the shard is behind.
+	TierInstall = coord.GlobalInstall
+	// TierExchange ships partials to the tier leader; coordinators run
+	// hierarchical commits when CoordConfig.Exchange carries one.
+	TierExchange = coord.PartialExchange
+)
+
+// ErrTierHalted is returned by a tier exchange while shard membership
+// is unhealthy (paper §3.4 halt-until-healthy, run horizontally).
+var ErrTierHalted = coord.ErrTierHalted
+
+// NewShardRing builds a consistent-hash ring over `shards` shards with
+// `replicas` vnodes each (replicas <= 0 selects the default 64).
+func NewShardRing(shards, replicas int) (*ShardRing, error) { return shard.NewRing(shards, replicas) }
+
+// NewShardLeader builds a tier round leader.
+func NewShardLeader(cfg ShardLeaderConfig) (*ShardLeader, error) { return shard.NewLeader(cfg) }
+
+// NewShardGateway builds the tier's routing gateway.
+func NewShardGateway(cfg ShardGatewayConfig) (*ShardGateway, error) { return shard.NewGateway(cfg) }
+
+// NewShardExchange builds an HTTP exchange client for a gateway URL.
+func NewShardExchange(gatewayURL string) *ShardHTTPExchange { return shard.NewHTTPExchange(gatewayURL) }
