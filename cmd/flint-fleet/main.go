@@ -43,6 +43,10 @@ func main() {
 	think := flag.Duration("think", 20*time.Millisecond, "mean device think time between protocol steps")
 	computeScale := flag.Float64("compute-scale", 1, "scale simulated local-training time (0 disables)")
 	deltaScale := flag.Float64("delta-scale", 0.01, "synthetic update delta magnitude")
+	deltaBias := flag.Float64("delta-bias", 0, "constant per-coordinate drift added to honest deltas (makes poison-induced divergence visible in model_norm)")
+	poisonFraction := flag.Float64("poison-fraction", 0, "share of devices under adversary control (deterministic per seed; 0 disables)")
+	poisonMode := flag.String("poison-mode", "sign-flip", "attack compromised devices mount: sign-flip or random-noise")
+	poisonScale := flag.Float64("poison-scale", 10, "attack boost factor (sign-flip amplification / noise std multiplier)")
 	jsonFraction := flag.Float64("json-fraction", 0, "share of devices kept on the legacy JSON protocol (0 = all binary, 1 = all JSON)")
 	legacyFraction := flag.Float64("legacy-fraction", 0, "share of devices on pre-negotiation binary (full broadcast, no scheme advertisement)")
 	bandwidth := flag.Float64("bandwidth", 0, "simulate per-device links: median downlink Mbps (0 disables; uplink at 40%)")
@@ -68,6 +72,10 @@ func main() {
 		ThinkTime:      *think,
 		ComputeScale:   *computeScale,
 		DeltaScale:     *deltaScale,
+		DeltaBias:      *deltaBias,
+		PoisonFraction: *poisonFraction,
+		PoisonMode:     *poisonMode,
+		PoisonScale:    *poisonScale,
 		JSONFraction:   *jsonFraction,
 		LegacyFraction: *legacyFraction,
 		Bandwidth:      bw,
@@ -102,6 +110,11 @@ func main() {
 					st.Counters["task_sent_binary"], st.Counters["task_sent_delta"],
 					st.Counters["task_sent_json"],
 					st.Counters["update_recv_binary"], st.Counters["update_recv_json"])
+				if st.Counters["updates_screened_norm"] > 0 || st.Privacy != nil {
+					fmt.Printf("  defense: %s, %d updates norm-screened, %d rounds aborted all-screened\n",
+						st.Aggregation, st.Counters["updates_screened_norm"],
+						st.Counters["round_aggregate_robust_error"])
+				}
 				fmt.Printf("  downlink: %.2f MiB full broadcast, %.2f MiB delta (%d cache hits, %d misses, %d aged bases)\n",
 					float64(st.Counters["broadcast_bytes_full"])/(1<<20),
 					float64(st.Counters["broadcast_bytes_delta"])/(1<<20),

@@ -50,6 +50,14 @@ func main() {
 	minSession := flag.Float64("min-session", 0, "minimum expected session seconds")
 	serverLR := flag.Float64("server-lr", 1, "async FedBuff server learning rate")
 	alpha := flag.Float64("alpha", 0.5, "async FedBuff staleness-discount exponent")
+	aggregation := flag.String("aggregation", "", "commit reducer: fedavg, fedbuff, trimmed-mean, or coordinate-median (default: the mode's standard reducer)")
+	trimFrac := flag.Float64("trim-frac", 0, "trimmed-mean: per-side trim fraction in [0, 0.5) (default 0.1)")
+	screenMaxNorm := flag.Float64("screen-max-norm", 0, "reject updates with L2 norm above this cap before the reduce (0 disables)")
+	screenMedianFactor := flag.Float64("screen-median-factor", 0, "reject updates with norm above this multiple of the round's median norm (0 disables; robust reducers default it to 4)")
+	dpEpsilon := flag.Float64("dp-epsilon", 0, "central DP: per-round epsilon target (0 disables noise)")
+	dpDelta := flag.Float64("dp-delta", 0, "central DP: delta (default 1e-5)")
+	dpClip := flag.Float64("dp-clip", 0, "central DP: aggregate-delta L2 clip norm (default 1 when -dp-epsilon is set; alone enables clip-only)")
+	dpSeed := flag.Int64("dp-seed", 0, "central DP: noise seed (default -seed)")
 	localSteps := flag.Int("local-steps", 20, "local training steps hint sent to devices")
 	taskScheme := flag.String("task-scheme", "f32", "default cohort: broadcast encoding for /v1/task (raw64, f32, q8, or topk[:k])")
 	updateScheme := flag.String("update-scheme", "q8", "default cohort: delta encoding binary devices use on /v1/update")
@@ -122,9 +130,21 @@ func main() {
 		},
 		ServerLR:       *serverLR,
 		StalenessAlpha: *alpha,
-		LocalSteps:     *localSteps,
-		MaxDevices:     *maxDevices,
-		Transport:      transportCfg,
+		Aggregation: coord.AggregationConfig{
+			Strategy:           *aggregation,
+			TrimFrac:           *trimFrac,
+			ScreenMaxNorm:      *screenMaxNorm,
+			ScreenMedianFactor: *screenMedianFactor,
+		},
+		DP: coord.DPConfig{
+			Epsilon:  *dpEpsilon,
+			Delta:    *dpDelta,
+			ClipNorm: *dpClip,
+			Seed:     *dpSeed,
+		},
+		LocalSteps: *localSteps,
+		MaxDevices: *maxDevices,
+		Transport:  transportCfg,
 		Sched: sched.Config{
 			Disable:       !*schedOn,
 			Alpha:         *schedAlpha,
@@ -204,6 +224,27 @@ func main() {
 		fmt.Printf("  wire: default cohort %s/%s/%s (delta depth %d); lowbw %s/%s/%s (delta depth %d)\n",
 			tr.Default.Task, tr.Default.Update, tr.Default.Delta, tr.DepthFor(transport.CohortDefault),
 			tr.LowBW.Task, tr.LowBW.Update, tr.LowBW.Delta, tr.DepthFor(transport.CohortLowBW))
+		if agg := eff.Aggregation; agg.Strategy != "" || agg.ScreenMaxNorm > 0 || agg.ScreenMedianFactor > 0 {
+			line := "  robust: " + j.Coord.Status().Aggregation
+			if agg.Strategy == "trimmed-mean" {
+				line += fmt.Sprintf(" (trim %.2f/side)", agg.TrimFrac)
+			}
+			if agg.ScreenMaxNorm > 0 {
+				line += fmt.Sprintf(", norm screen ≤ %.3g", agg.ScreenMaxNorm)
+			}
+			if agg.ScreenMedianFactor > 0 {
+				line += fmt.Sprintf(", norm screen ≤ %.3g× median", agg.ScreenMedianFactor)
+			}
+			fmt.Println(line)
+		}
+		if eff.DP.Enabled() {
+			if eff.DP.Epsilon > 0 {
+				fmt.Printf("  privacy: central DP, ε=%.3g/round at δ=%.0e, clip %.3g, seed %d\n",
+					eff.DP.Epsilon, eff.DP.Delta, eff.DP.ClipNorm, eff.DP.Seed)
+			} else {
+				fmt.Printf("  privacy: aggregate clip %.3g (no noise)\n", eff.DP.ClipNorm)
+			}
+		}
 	}
 	def := reg.Default()
 	if sc := def.Coord.Config().Sched; !sc.Disable {

@@ -9,7 +9,6 @@ package aggregator
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"flint/internal/codec"
 	"flint/internal/tensor"
@@ -26,9 +25,11 @@ type Update struct {
 	// and FedBuff's range kernels decode straight out of it, so the
 	// ingest→commit path never materializes a full-dim vector per
 	// update. When Delta is non-nil it wins and Payload is ignored.
-	// Strategies without fused kernels (TrimmedMean, NormBound) call
-	// Materialize first; the simulation-side wrappers (DP, SecAgg,
-	// poisoning) require a dense Delta.
+	// The robust column reducers (TrimmedMean, CoordinateMedian) decode
+	// per-worker windows via pooled scratch instead; strategies without
+	// any fused path (NormBound) call Materialize first, and the
+	// simulation-side wrappers (DP, SecAgg, poisoning) require a dense
+	// Delta.
 	Payload *codec.Payload
 	// Weight is the aggregation weight, conventionally the client's
 	// example count |Dk|.
@@ -225,65 +226,59 @@ type TrimmedMean struct {
 // Name implements Strategy.
 func (t TrimmedMean) Name() string { return "trimmed-mean" }
 
-// Aggregate implements Strategy. Payload-backed updates are materialized
-// first: the per-coordinate column gather needs random dense access, so
-// the robust reducer is a materializing strategy, not a fused one.
+// Aggregate implements Strategy.
 func (t TrimmedMean) Aggregate(global tensor.Vector, updates []Update) error {
 	if len(updates) == 0 {
 		return fmt.Errorf("aggregator: trimmed mean with no updates")
 	}
-	ups, err := Materialize(updates)
-	if err != nil {
+	if err := validateDims(global, updates); err != nil {
 		return err
 	}
-	if err := validateDims(global, ups); err != nil {
-		return err
-	}
-	return t.aggregateRange(global, ups, 0, len(global))
+	return t.aggregateRange(global, updates, 0, len(global))
 }
 
-// trimScratch recycles the per-call column buffer across aggregations
-// (and across Parallel's workers), so the per-coordinate gather never
-// allocates inside the coordinate loop.
-var trimScratch = sync.Pool{New: func() any { return new([]float64) }}
-
 // aggregateRange implements rangeStrategy for the robust reducer, making
-// trimmed-mean viable as a live-path range kernel alongside FedAvg and
-// FedBuff: per coordinate it gathers the update column into a reused
-// scratch buffer, partitions out the k smallest and k largest with
-// partial selection (O(n) expected vs. the former insertion sort's
-// O(n²)), and folds the mean of the middle in. The selection's pivot rule
-// is deterministic, so every worker — and every re-run — sums the middle
-// values in the same order: parallel stays bit-identical to sequential.
-// Scalar validation runs identically in every worker before any of them
-// mutates global. Callers materialize payload-backed updates first
-// (Parallel does this for non-fused inner strategies).
+// trimmed-mean a first-class live-path range kernel alongside FedAvg and
+// FedBuff. Payload-backed updates are NOT materialized up front: each
+// call decodes only its own [lo:hi) window, once per update, into the
+// worker's pooled cache-line-aligned column scratch (gatherRows) — so a
+// Parallel run touches each wire byte exactly once and a steady-state
+// commit allocates nothing. Per coordinate the column gather reads the
+// dense rows, partitions out the k smallest and k largest with partial
+// selection (O(n) expected), and folds the mean of the middle in. The
+// selection's pivot rule is deterministic, so every worker — and every
+// re-run — sums the middle values in the same order: parallel stays
+// bit-identical to sequential. Scalar validation runs identically in
+// every worker before any of them mutates global.
 func (t TrimmedMean) aggregateRange(global tensor.Vector, updates []Update, lo, hi int) error {
 	if t.TrimFrac < 0 || t.TrimFrac >= 0.5 {
 		return fmt.Errorf("aggregator: trim fraction %v outside [0, 0.5)", t.TrimFrac)
 	}
 	k := int(t.TrimFrac * float64(len(updates)))
-	bufp := trimScratch.Get().(*[]float64)
-	defer trimScratch.Put(bufp)
-	if cap(*bufp) < len(updates) {
-		*bufp = make([]float64, len(updates))
-	}
-	vals := (*bufp)[:len(updates)]
+	s := robustPool.Get().(*robustScratch)
+	defer s.release()
+	s.gatherRows(updates, lo, hi)
+	vals, rows := s.vals, s.rows
 	for j := lo; j < hi; j++ {
-		for i, u := range updates {
-			vals[i] = u.Delta[j]
+		for i, row := range rows {
+			vals[i] = row[j-lo]
 		}
 		selectMiddle(vals, k)
-		var s float64
+		var sum float64
 		for _, v := range vals[k : len(vals)-k] {
-			s += v
+			sum += v
 		}
 		if n := len(vals) - 2*k; n > 0 {
-			global[j] += s / float64(n)
+			global[j] += sum / float64(n)
 		}
 	}
 	return nil
 }
+
+// fusedPayloads marks the range kernel as reading wire-form updates
+// directly (via the per-worker window gather in gatherRows), so Parallel
+// no longer materializes every payload for it.
+func (TrimmedMean) fusedPayloads() {}
 
 // selectMiddle partitions vals so its k smallest elements occupy
 // vals[:k] and its k largest vals[len-k:], leaving the middle in

@@ -151,10 +151,10 @@ func TestFusedParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestParallelMaterializesForNonFusedInner: a payload-backed update set
-// through a sharded strategy without fused kernels (TrimmedMean) is
-// materialized once and still matches the dense path.
-func TestParallelMaterializesForNonFusedInner(t *testing.T) {
+// TestParallelTrimmedMeanWireMatchesDense: a payload-backed update set
+// through the sharded trimmed-mean (per-worker window gather, no whole-
+// set materialization) matches the dense path exactly.
+func TestParallelTrimmedMeanWireMatchesDense(t *testing.T) {
 	const dim = 70_000
 	const n = 15
 	rng := rand.New(rand.NewSource(9))

@@ -60,8 +60,8 @@ const shardAlign = 256
 // amortize goroutine startup) delegate to the inner strategy unchanged,
 // so Parallel is safe to install unconditionally.
 type Parallel struct {
-	// Inner is the wrapped strategy (FedAvg, FedBuff, and TrimmedMean
-	// shard; others run sequentially).
+	// Inner is the wrapped strategy (FedAvg, FedBuff, TrimmedMean, and
+	// CoordinateMedian shard; others run sequentially).
 	Inner Strategy
 	// Workers caps the shard count (0 = GOMAXPROCS).
 	Workers int

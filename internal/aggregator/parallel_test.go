@@ -150,9 +150,9 @@ func TestParallelErrorParity(t *testing.T) {
 	}
 }
 
-func TestParallelNonSeparableDelegates(t *testing.T) {
-	// TrimmedMean has no range kernel: the wrapper must hand the whole
-	// batch to it unchanged.
+func TestParallelTrimmedMeanSmallBatchDelegates(t *testing.T) {
+	// Under the work floor the wrapper hands the whole batch to the
+	// trimmed-mean kernel unchanged, and the delegate is exact.
 	ups := parallelUpdates(20, 64, 19)
 	seq := tensor.NewVector(64)
 	par := seq.Clone()

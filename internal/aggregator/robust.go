@@ -1,0 +1,246 @@
+package aggregator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"flint/internal/tensor"
+)
+
+// ErrAllScreened is the sentinel the commit pipeline maps to its
+// round_aggregate_robust_error counter: the pre-reduce norm screen
+// rejected every update in the round, leaving nothing to aggregate.
+// Like ErrNonFinite it aborts the round with rollback semantics — the
+// screen runs before any mutation, so the rollback is a no-op, but the
+// round is dropped and its successor opens on the unchanged plane.
+var ErrAllScreened = errors.New("aggregator: norm screen rejected every update")
+
+// robustRowAlign is the row stride quantum of the column scratch, in
+// float64s: 8 doubles = one 64-byte cache line, so each materialized
+// window row starts on a line boundary and Parallel's workers — each
+// holding their own scratch block — stream disjoint lines.
+const robustRowAlign = 8
+
+// robustScratch is one worker's column-gather workspace for the robust
+// reducers: vals holds one coordinate's column across the update set;
+// dense holds the materialized [lo:hi) windows of payload-backed updates
+// (row-major, cache-line-aligned stride); rows indexes every update's
+// dense window, aliasing Delta directly when the update already carries
+// one. Pooled so a steady-state commit allocates nothing.
+type robustScratch struct {
+	vals  []float64
+	dense []float64
+	rows  [][]float64
+}
+
+var robustPool = sync.Pool{New: func() any { return new(robustScratch) }}
+
+// gatherRows prepares rows[i] as a dense read-only view of
+// updates[i][lo:hi). Delta-backed updates alias their vector (no copy);
+// payload-backed ones decode their window exactly once per call — the
+// per-worker materialization that replaced Parallel's whole-set
+// Materialize for the robust reducers. CopyRange decodes with the exact
+// expressions Materialize uses, so the column gather over wire-form
+// updates stays bit-identical to a materialize-first pass.
+func (s *robustScratch) gatherRows(updates []Update, lo, hi int) {
+	n := len(updates)
+	if cap(s.vals) < n {
+		s.vals = make([]float64, n)
+	}
+	s.vals = s.vals[:n]
+	if cap(s.rows) < n {
+		s.rows = make([][]float64, n)
+	}
+	s.rows = s.rows[:n]
+	stride := (hi - lo + robustRowAlign - 1) &^ (robustRowAlign - 1)
+	wire := 0
+	for _, u := range updates {
+		if u.Delta == nil {
+			wire++
+		}
+	}
+	if cap(s.dense) < wire*stride {
+		s.dense = make([]float64, wire*stride)
+	}
+	s.dense = s.dense[:wire*stride]
+	next := 0
+	for i, u := range updates {
+		if u.Delta != nil {
+			s.rows[i] = u.Delta[lo:hi]
+			continue
+		}
+		row := s.dense[next*stride : next*stride+(hi-lo)]
+		next++
+		u.Payload.CopyRange(row, lo, hi)
+		s.rows[i] = row
+	}
+}
+
+func (s *robustScratch) release() {
+	for i := range s.rows {
+		s.rows[i] = nil // don't pin caller Deltas in the pool
+	}
+	robustPool.Put(s)
+}
+
+// CoordinateMedian is the Byzantine-robust coordinate-wise median
+// (Yin et al., 2018): per coordinate, the median of the update column —
+// immune to any minority of arbitrarily poisoned updates, at the cost of
+// ignoring aggregation weights. Like TrimmedMean it is a range strategy
+// with a wire-form column gather, so it runs as a first-class live-path
+// reducer behind Parallel.
+type CoordinateMedian struct{}
+
+// Name implements Strategy.
+func (CoordinateMedian) Name() string { return "coordinate-median" }
+
+// Aggregate implements Strategy.
+func (m CoordinateMedian) Aggregate(global tensor.Vector, updates []Update) error {
+	if len(updates) == 0 {
+		return fmt.Errorf("aggregator: coordinate median with no updates")
+	}
+	if err := validateDims(global, updates); err != nil {
+		return err
+	}
+	return m.aggregateRange(global, updates, 0, len(global))
+}
+
+// aggregateRange implements rangeStrategy; see TrimmedMean.aggregateRange
+// for the gather-and-select contract. The median selection reuses the
+// deterministic quickselect, so parallel stays bit-identical to
+// sequential.
+func (m CoordinateMedian) aggregateRange(global tensor.Vector, updates []Update, lo, hi int) error {
+	s := robustPool.Get().(*robustScratch)
+	defer s.release()
+	s.gatherRows(updates, lo, hi)
+	vals, rows := s.vals, s.rows
+	for j := lo; j < hi; j++ {
+		for i, row := range rows {
+			vals[i] = row[j-lo]
+		}
+		global[j] += medianInPlace(vals)
+	}
+	return nil
+}
+
+// fusedPayloads marks the range kernel as reading wire-form updates
+// directly (via the per-worker window gather), so Parallel never
+// materializes the whole update set for it.
+func (CoordinateMedian) fusedPayloads() {}
+
+// medianInPlace returns the median of vals, reordering it. Odd lengths
+// take the middle element; even lengths average the two middles. Both
+// selections are deterministic (quickselect with a fixed pivot rule plus
+// a max-scan of the lower partition), so every worker and every re-run
+// produces the identical float.
+func medianInPlace(vals []float64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	mid := n / 2
+	nthElement(vals, mid)
+	if n%2 == 1 {
+		return vals[mid]
+	}
+	// After nthElement everything before mid is <= vals[mid]; the lower
+	// middle is the max of that partition.
+	lower := vals[0]
+	for _, v := range vals[1:mid] {
+		if v > lower {
+			lower = v
+		}
+	}
+	return (lower + vals[mid]) / 2
+}
+
+// NormScreen is the commit pipeline's pre-reduce rejection layer: updates
+// whose L2 norm is an outlier — above an absolute cap, above a multiple
+// of the round's median norm, or non-finite — never enter the reduce.
+// Boosted poisoning attacks (§4.2: sign-flip at scale s inflates the
+// update norm by s) are rejected here before they can claim trimmed-mean
+// slots or drag a weighted average. Norms of wire-form updates come from
+// Payload.Norm2, a single pass over the wire bytes with no
+// materialization.
+type NormScreen struct {
+	// MaxNorm rejects updates with L2 norm above this absolute cap
+	// (0 disables).
+	MaxNorm float64
+	// MedianFactor rejects updates with norm greater than MedianFactor ×
+	// the update set's median norm (0 disables; must be >= 1 otherwise —
+	// the median itself must always pass its own screen).
+	MedianFactor float64
+}
+
+// Enabled reports whether the screen does anything.
+func (s NormScreen) Enabled() bool { return s.MaxNorm > 0 || s.MedianFactor > 0 }
+
+// Validate rejects nonsensical thresholds.
+func (s NormScreen) Validate() error {
+	if s.MaxNorm < 0 {
+		return fmt.Errorf("aggregator: negative screen max norm %v", s.MaxNorm)
+	}
+	if s.MedianFactor != 0 && s.MedianFactor < 1 {
+		return fmt.Errorf("aggregator: screen median factor %v below 1", s.MedianFactor)
+	}
+	return nil
+}
+
+// Apply partitions updates into the kept subset and the rejected
+// outliers, both preserving input order. The input slice is never
+// mutated (the round owns it: its payloads are released at round
+// termination, rejected or not); when nothing is rejected the kept
+// result is the input slice itself, allocation aside from the norm
+// scratch. The median threshold uses the deterministic selection, so the
+// same round always screens the same set.
+func (s NormScreen) Apply(updates []Update) (kept, rejected []Update) {
+	if !s.Enabled() || len(updates) == 0 {
+		return updates, nil
+	}
+	norms := make([]float64, len(updates))
+	for i, u := range updates {
+		norms[i] = updateNorm(u)
+	}
+	limit := math.Inf(1)
+	if s.MaxNorm > 0 {
+		limit = s.MaxNorm
+	}
+	if s.MedianFactor > 0 {
+		med := medianInPlace(append([]float64(nil), norms...))
+		if t := s.MedianFactor * med; t < limit {
+			limit = t
+		}
+	}
+	drop := 0
+	for _, n := range norms {
+		if !(n <= limit) { // NaN norms fail the comparison and are screened
+			drop++
+		}
+	}
+	if drop == 0 {
+		return updates, nil
+	}
+	kept = make([]Update, 0, len(updates)-drop)
+	rejected = make([]Update, 0, drop)
+	for i, u := range updates {
+		if norms[i] <= limit {
+			kept = append(kept, u)
+		} else {
+			rejected = append(rejected, u)
+		}
+	}
+	return kept, rejected
+}
+
+// updateNorm is the update's L2 norm, whichever form it carries.
+func updateNorm(u Update) float64 {
+	if u.Delta != nil {
+		return u.Delta.Norm2()
+	}
+	if u.Payload != nil {
+		return u.Payload.Norm2()
+	}
+	return 0
+}

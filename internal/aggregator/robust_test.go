@@ -1,0 +1,300 @@
+package aggregator
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"testing"
+
+	"flint/internal/codec"
+	"flint/internal/tensor"
+)
+
+// medianRef is the sort-based median definition: odd counts take the
+// middle element, even counts average the two middles — the same two
+// floats, added in the same order, as medianInPlace's partial selection.
+func medianRef(col []float64) float64 {
+	sorted := append([]float64(nil), col...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// TestCoordinateMedianMatchesSortReference: the quickselect-based
+// coordinate median equals the sort-based definition exactly, for odd and
+// even update counts, including duplicated values.
+func TestCoordinateMedianMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 9, 16, 17} {
+		const dim = 257
+		base := randVec(rng, dim)
+		got := base.Clone()
+		ups := make([]Update, n)
+		for i := range ups {
+			d := randVec(rng, dim)
+			for j := range d {
+				if rng.Intn(4) == 0 {
+					d[j] = float64(rng.Intn(3)) // duplicates and ties
+				}
+			}
+			ups[i] = Update{ClientID: int64(i), Delta: d, Weight: float64(1 + rng.Intn(9))}
+		}
+		if err := (CoordinateMedian{}).Aggregate(got, ups); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		col := make([]float64, n)
+		for j := 0; j < dim; j++ {
+			for i := range ups {
+				col[i] = ups[i].Delta[j]
+			}
+			if want := base[j] + medianRef(col); got[j] != want {
+				t.Fatalf("n=%d coord %d: got %v want %v", n, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestRobustWireMatchesDense: both robust reducers over wire-form
+// payloads (per-window CopyRange gather) equal the decode-then-reduce
+// dense path exactly, for every scheme and awkward dimensions.
+func TestRobustWireMatchesDense(t *testing.T) {
+	schemes := map[string]codec.Scheme{
+		"raw64": codec.RawF64,
+		"f32":   codec.F32,
+		"q8":    codec.Q8,
+		"topk":  codec.TopK(0),
+	}
+	strategies := map[string]Strategy{
+		"trimmed-mean":      TrimmedMean{TrimFrac: 0.2},
+		"coordinate-median": CoordinateMedian{},
+	}
+	for sname, strat := range strategies {
+		for kname, scheme := range schemes {
+			for _, dim := range []int{1, 255, 257, 1519} {
+				fused, ref := fusedAndReference(t, strat, dim,
+					[]codec.Scheme{scheme, scheme, scheme, scheme, scheme},
+					int64(dim)*17+int64(len(sname)+len(kname)))
+				for i := range fused {
+					if fused[i] != ref[i] {
+						t.Fatalf("%s/%s dim %d: wire[%d]=%v dense=%v", sname, kname, dim, i, fused[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRobustParallelMatchesSequential: the sharded robust reducers are
+// bit-identical to their sequential pass over a mixed dense + wire update
+// set, for odd and even populations (even exercises the two-middles
+// average) and across schemes.
+func TestRobustParallelMatchesSequential(t *testing.T) {
+	const dim = 70_000 // dim*n > parallelMinWork
+	rng := rand.New(rand.NewSource(33))
+	for _, strat := range []Strategy{TrimmedMean{TrimFrac: 0.25}, CoordinateMedian{}} {
+		for _, n := range []int{15, 16} {
+			base := randVec(rng, dim)
+			seq := base.Clone()
+			par := base.Clone()
+			schemes := []codec.Scheme{codec.RawF64, codec.F32, codec.Q8, codec.TopK(0)}
+			ups := make([]Update, n)
+			for i := range ups {
+				v := randVec(rng, dim)
+				if i%3 == 0 {
+					ups[i] = Update{ClientID: int64(i), Delta: v}
+				} else {
+					ups[i] = Update{ClientID: int64(i), Payload: encodePayload(t, v, schemes[i%len(schemes)])}
+				}
+			}
+			if err := strat.Aggregate(seq, ups); err != nil {
+				t.Fatalf("%s n=%d sequential: %v", strat.Name(), n, err)
+			}
+			if err := (Parallel{Inner: strat, Workers: 5, Screen: true}).Aggregate(par, ups); err != nil {
+				t.Fatalf("%s n=%d parallel: %v", strat.Name(), n, err)
+			}
+			for i := range seq {
+				if seq[i] != par[i] {
+					t.Fatalf("%s n=%d: par[%d]=%v seq=%v", strat.Name(), n, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCoordinateMedianErrors: the robust reducers report empty batches and
+// dimension mismatches before mutating the global vector.
+func TestCoordinateMedianErrors(t *testing.T) {
+	if err := (CoordinateMedian{}).Aggregate(tensor.NewVector(8), nil); err == nil || !strings.Contains(err.Error(), "no updates") {
+		t.Fatalf("empty batch error = %v", err)
+	}
+	global := tensor.NewVector(8)
+	ups := []Update{{ClientID: 1, Delta: tensor.NewVector(7)}}
+	if err := (CoordinateMedian{}).Aggregate(global, ups); err == nil {
+		t.Fatal("dim mismatch not reported")
+	}
+	for i, x := range global {
+		if x != 0 {
+			t.Fatalf("global[%d] = %g mutated by failed aggregation", i, x)
+		}
+	}
+}
+
+// screenUpdate builds a dense update whose L2 norm is exactly 2x (four
+// coordinates of magnitude x).
+func screenUpdate(id int64, x float64) Update {
+	return Update{ClientID: id, Delta: constVec(4, x)}
+}
+
+func screenIDs(ups []Update) []int64 {
+	ids := make([]int64, len(ups))
+	for i, u := range ups {
+		ids[i] = u.ClientID
+	}
+	return ids
+}
+
+func TestNormScreenMaxNorm(t *testing.T) {
+	ups := []Update{screenUpdate(1, 1), screenUpdate(2, 100), screenUpdate(3, 1.5)}
+	kept, rejected := NormScreen{MaxNorm: 10}.Apply(ups)
+	if got := screenIDs(kept); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("kept %v", got)
+	}
+	if got := screenIDs(rejected); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("rejected %v", got)
+	}
+}
+
+func TestNormScreenMedianFactor(t *testing.T) {
+	// Norms 2, 4, 6, 200: median (4+6)/2 = 5, limit 4×5 = 20 → only the
+	// boosted update is rejected, and input order is preserved.
+	ups := []Update{screenUpdate(1, 1), screenUpdate(2, 100), screenUpdate(3, 2), screenUpdate(4, 3)}
+	kept, rejected := NormScreen{MedianFactor: 4}.Apply(ups)
+	if got := screenIDs(kept); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("kept %v", got)
+	}
+	if got := screenIDs(rejected); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("rejected %v", got)
+	}
+	// Both knobs: the tighter limit wins (max norm 5 also drops id 4).
+	kept, rejected = NormScreen{MaxNorm: 5, MedianFactor: 4}.Apply(ups)
+	if len(kept) != 2 || len(rejected) != 2 {
+		t.Fatalf("combined limits kept %v rejected %v", screenIDs(kept), screenIDs(rejected))
+	}
+}
+
+func TestNormScreenNaN(t *testing.T) {
+	bad := screenUpdate(2, 1)
+	bad.Delta[1] = math.NaN()
+	ups := []Update{screenUpdate(1, 1), bad, screenUpdate(3, 1)}
+	kept, rejected := NormScreen{MaxNorm: 10}.Apply(ups)
+	if len(kept) != 2 || len(rejected) != 1 || rejected[0].ClientID != 2 {
+		t.Fatalf("NaN update not screened: kept %v rejected %v", screenIDs(kept), screenIDs(rejected))
+	}
+}
+
+func TestNormScreenNoDropAliasesInput(t *testing.T) {
+	ups := []Update{screenUpdate(1, 1), screenUpdate(2, 1)}
+	kept, rejected := NormScreen{MaxNorm: 10}.Apply(ups)
+	if rejected != nil {
+		t.Fatalf("clean set rejected %v", screenIDs(rejected))
+	}
+	if len(kept) != len(ups) || &kept[0] != &ups[0] {
+		t.Fatal("no-drop screen did not return the input slice")
+	}
+	// Disabled screen is the identity even on an outlier-laden set.
+	ups = append(ups, screenUpdate(3, 1e300))
+	if kept, rejected := (NormScreen{}).Apply(ups); len(kept) != 3 || rejected != nil {
+		t.Fatal("disabled screen dropped updates")
+	}
+}
+
+func TestNormScreenAllRejected(t *testing.T) {
+	ups := []Update{screenUpdate(1, 50), screenUpdate(2, 60)}
+	kept, rejected := NormScreen{MaxNorm: 1}.Apply(ups)
+	if len(kept) != 0 || len(rejected) != 2 {
+		t.Fatalf("kept %v rejected %v", screenIDs(kept), screenIDs(rejected))
+	}
+}
+
+// TestNormScreenWireForm: payload-backed updates are screened via
+// Payload.Norm2 (wire-byte scan) with the same verdicts as their dense
+// decodes — a boosted q8 update is caught without materialization.
+func TestNormScreenWireForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const dim = 600
+	honest := randVec(rng, dim)
+	boosted := honest.Clone()
+	boosted.Scale(-50) // sign-flip at scale 50 inflates the norm 50×
+	ups := []Update{
+		{ClientID: 1, Payload: encodePayload(t, honest, codec.Q8)},
+		{ClientID: 2, Payload: encodePayload(t, boosted, codec.Q8)},
+		{ClientID: 3, Payload: encodePayload(t, honest, codec.RawF64)},
+	}
+	kept, rejected := NormScreen{MedianFactor: 4}.Apply(ups)
+	if len(kept) != 2 || len(rejected) != 1 || rejected[0].ClientID != 2 {
+		t.Fatalf("boosted wire update not screened: kept %v rejected %v", screenIDs(kept), screenIDs(rejected))
+	}
+}
+
+func TestNormScreenValidate(t *testing.T) {
+	if err := (NormScreen{MaxNorm: -1}).Validate(); err == nil {
+		t.Fatal("negative max norm accepted")
+	}
+	if err := (NormScreen{MedianFactor: 0.5}).Validate(); err == nil {
+		t.Fatal("median factor below 1 accepted")
+	}
+	for _, s := range []NormScreen{{}, {MaxNorm: 3}, {MedianFactor: 1}, {MaxNorm: 1, MedianFactor: 8}} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+	}
+	if (NormScreen{}).Enabled() {
+		t.Fatal("zero screen reports enabled")
+	}
+}
+
+// TestTrimmedMeanParallelSteadyStateAllocs pins the satellite fix: the
+// sharded trimmed-mean over wire payloads gathers per-worker windows into
+// pooled scratch instead of materializing every payload, so a steady-state
+// commit allocates far less than even one decoded update (the old path
+// allocated n of them). GC is disabled so the pool can't be emptied
+// mid-measurement.
+func TestTrimmedMeanParallelSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation accounting")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const dim = 70_000
+	const n = 16
+	rng := rand.New(rand.NewSource(51))
+	ups := make([]Update, n)
+	for i := range ups {
+		ups[i] = Update{ClientID: int64(i), Payload: encodePayload(t, randVec(rng, dim), codec.Q8)}
+	}
+	global := tensor.NewVector(dim)
+	p := Parallel{Inner: TrimmedMean{TrimFrac: 0.2}, Workers: 4, Screen: true}
+	for i := 0; i < 3; i++ { // warm the scratch pool
+		if err := p.Aggregate(global, ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		if err := p.Aggregate(global, ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	perOp := float64(after.TotalAlloc-before.TotalAlloc) / runs
+	if limit := float64(dim * 8); perOp > limit {
+		t.Fatalf("steady-state trimmed-mean commit allocates %.0f B/op (limit %.0f); payloads being materialized again?", perOp, limit)
+	}
+}

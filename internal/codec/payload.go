@@ -110,6 +110,108 @@ func (p *Payload) AllFinite() bool {
 	return true
 }
 
+// Norm2 returns the L2 norm of the decoded vector, scanning the wire
+// bytes without materializing — the pre-reduce norm screen's accessor.
+// Every scheme accumulates s += v*v over ascending coordinates with v
+// computed by the exact decodePayload expression, so the result is
+// bit-identical to Materialize().Norm2(); top-k skips absent entries,
+// whose dense contribution (s += 0*0) is the identity.
+func (p *Payload) Norm2() float64 {
+	d := p.data
+	var s float64
+	switch p.scheme.Kind {
+	case KindRawF64:
+		for i := 0; i < p.dim; i++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(d[8*i:]))
+			s += v * v
+		}
+	case KindF32:
+		for i := 0; i < p.dim; i++ {
+			v := float64(math.Float32frombits(binary.LittleEndian.Uint32(d[4*i:])))
+			s += v * v
+		}
+	case KindQ8:
+		chunk := p.q8chunk
+		scales := d[4 : 4+4*p.q8chunks()]
+		vals := d[4+4*p.q8chunks():]
+		for j := 0; j < p.dim; {
+			c := j / chunk
+			end := (c + 1) * chunk
+			if end > p.dim {
+				end = p.dim
+			}
+			scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(scales[4*c:])))
+			for ; j < end; j++ {
+				v := float64(int8(vals[j])) * scale
+				s += v * v
+			}
+		}
+	case KindTopK:
+		k := p.scheme.TopK
+		for i := 0; i < k; i++ {
+			v := float64(math.Float32frombits(binary.LittleEndian.Uint32(d[4+4*k+4*i:])))
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// CopyRange decodes elements [lo, hi) into dst (len hi-lo), overwriting
+// it — the robust reducers' per-worker window materialization. Each
+// element is produced by the exact expression decodePayload uses, so a
+// copied window is bit-identical to the same slice of Materialize().
+func (p *Payload) CopyRange(dst tensor.Vector, lo, hi int) {
+	if lo < 0 || hi > p.dim || lo > hi {
+		panic(fmt.Sprintf("codec: payload range [%d,%d) outside dim %d", lo, hi, p.dim))
+	}
+	if len(dst) != hi-lo {
+		panic(fmt.Sprintf("codec: payload range [%d,%d) into %d-elem dst", lo, hi, len(dst)))
+	}
+	d := p.data
+	switch p.scheme.Kind {
+	case KindRawF64:
+		b := d[8*lo : 8*hi]
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	case KindF32:
+		b := d[4*lo : 4*hi]
+		for i := range dst {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+		}
+	case KindQ8:
+		chunk := p.q8chunk
+		scales := d[4 : 4+4*p.q8chunks()]
+		vals := d[4+4*p.q8chunks():]
+		for j := lo; j < hi; {
+			c := j / chunk
+			end := (c + 1) * chunk
+			if end > hi {
+				end = hi
+			}
+			scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(scales[4*c:])))
+			for ; j < end; j++ {
+				dst[j-lo] = float64(int8(vals[j])) * scale
+			}
+		}
+	case KindTopK:
+		dst.Zero()
+		k := p.scheme.TopK
+		idx := d[4 : 4+4*k]
+		valOff := 4 + 4*k
+		i := sort.Search(k, func(n int) bool {
+			return int(binary.LittleEndian.Uint32(idx[4*n:])) >= lo
+		})
+		for ; i < k; i++ {
+			j := int(binary.LittleEndian.Uint32(idx[4*i:]))
+			if j >= hi {
+				break
+			}
+			dst[j-lo] = float64(math.Float32frombits(binary.LittleEndian.Uint32(d[valOff+4*i:])))
+		}
+	}
+}
+
 // isNonFinite64 reports an all-ones exponent (Inf or NaN) without leaving
 // integer registers.
 func isNonFinite64(bits uint64) bool { return bits&0x7FF0000000000000 == 0x7FF0000000000000 }

@@ -18,9 +18,10 @@ func payloadTestVec(rng *rand.Rand, dim int) tensor.Vector {
 	return v
 }
 
-// TestPayloadAccessorsMatchDecode: At, Materialize, and AddScaledRange
-// over arbitrary sub-ranges agree exactly with the materializing decoder
-// for every scheme, through both ParsePayload and DecodePayloadFrom.
+// TestPayloadAccessorsMatchDecode: At, Materialize, Norm2, and the range
+// accessors (AddScaledRange, CopyRange) over arbitrary sub-ranges agree
+// exactly with the materializing decoder for every scheme, through both
+// ParsePayload and DecodePayloadFrom.
 func TestPayloadAccessorsMatchDecode(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, dim := range []int{1, 255, 256, 300, 1519} {
@@ -58,6 +59,11 @@ func TestPayloadAccessorsMatchDecode(t *testing.T) {
 						t.Fatalf("%s %v: At(%d)=%v want %v", name, s, i, a, want[i])
 					}
 				}
+				// Norm2 accumulates the identical squares in the identical
+				// order, so it is bit-equal to the dense norm.
+				if n := p.Norm2(); n != want.Norm2() {
+					t.Fatalf("%s %v: Norm2()=%v want %v", name, s, n, want.Norm2())
+				}
 				// Range kernel over random windows, including chunk-
 				// straddling and empty ones.
 				for trial := 0; trial < 20; trial++ {
@@ -71,6 +77,13 @@ func TestPayloadAccessorsMatchDecode(t *testing.T) {
 					for i := range dst {
 						if dst[i] != ref[i] {
 							t.Fatalf("%s %v [%d:%d): dst[%d]=%v want %v", name, s, lo, hi, i, dst[i], ref[i])
+						}
+					}
+					cr := payloadTestVec(rng, hi-lo) // overwritten, garbage in
+					p.CopyRange(cr, lo, hi)
+					for i := range cr {
+						if cr[i] != want[lo+i] {
+							t.Fatalf("%s %v CopyRange[%d:%d): [%d]=%v want %v", name, s, lo, hi, i, cr[i], want[lo+i])
 						}
 					}
 				}

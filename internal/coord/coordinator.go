@@ -159,6 +159,14 @@ type StatusReport struct {
 	Scheduler sched.Report     `json:"scheduler"`
 	Counters  map[string]int64 `json:"counters"`
 	Recent    []RoundSummary   `json:"recent_rounds,omitempty"`
+	// Aggregation names the effective commit reducer (e.g.
+	// "parallel(trimmed-mean)").
+	Aggregation string `json:"aggregation"`
+	// ModelNorm is the L2 norm of the published parameter vector — the
+	// fleet-visible drift metric the poison-replay drills assert on.
+	ModelNorm float64 `json:"model_norm"`
+	// Privacy is the DP stage's accountant view; nil when DP is off.
+	Privacy *PrivacyReport `json:"privacy,omitempty"`
 }
 
 // serving pairs the current round with the broadcast plane it trains
@@ -209,10 +217,15 @@ const persistQueueDepth = 16
 // disk write to a write-behind worker (publish_pending counts the
 // backlog).
 type Coordinator struct {
-	cfg        Config
-	reg        *Registry
-	store      *modelstore.Store
-	strategy   aggregator.Strategy
+	cfg      Config
+	reg      *Registry
+	store    *modelstore.Store
+	strategy aggregator.Strategy
+	// screen is the commit pipeline's pre-reduce norm-outlier rejection
+	// layer (zero value = disabled); dp is the post-reduce clip-and-noise
+	// stage (nil = disabled).
+	screen     aggregator.NormScreen
+	dp         *dpState
 	counters   *metrics.CounterSet
 	negotiator *transport.Negotiator
 	// sched is the scheduling plane: measured-bandwidth cohort map,
@@ -305,16 +318,31 @@ func New(cfg Config) (*Coordinator, error) {
 		persist:    make(chan persistReq, persistQueueDepth),
 		done:       make(chan struct{}),
 	}
-	// Both strategies are coordinate-separable, so the commit pipeline's
-	// aggregation shards across cores and stays bit-identical to the
-	// sequential fold. Screen folds the post-aggregate non-finite sweep
-	// into the same pass, per worker range, while the accumulator is
-	// still cache-hot.
-	switch cfg.Mode {
-	case ModeSync:
-		c.strategy = aggregator.Parallel{Inner: aggregator.FedAvg{}, Screen: true}
-	case ModeAsync:
-		c.strategy = aggregator.Parallel{Inner: aggregator.FedBuff{ServerLR: cfg.ServerLR, Alpha: cfg.StalenessAlpha}, Screen: true}
+	// Every installed strategy is coordinate-separable, so the commit
+	// pipeline's aggregation shards across cores and stays bit-identical
+	// to the sequential fold — the robust column reducers included (their
+	// per-coordinate selection is deterministic). Screen folds the
+	// post-aggregate non-finite sweep into the same pass, per worker
+	// range, while the accumulator is still cache-hot.
+	switch cfg.Aggregation.Strategy {
+	case "trimmed-mean":
+		c.strategy = aggregator.Parallel{Inner: aggregator.TrimmedMean{TrimFrac: cfg.Aggregation.TrimFrac}, Screen: true}
+	case "coordinate-median":
+		c.strategy = aggregator.Parallel{Inner: aggregator.CoordinateMedian{}, Screen: true}
+	default:
+		switch cfg.Mode {
+		case ModeSync:
+			c.strategy = aggregator.Parallel{Inner: aggregator.FedAvg{}, Screen: true}
+		case ModeAsync:
+			c.strategy = aggregator.Parallel{Inner: aggregator.FedBuff{ServerLR: cfg.ServerLR, Alpha: cfg.StalenessAlpha}, Screen: true}
+		}
+	}
+	c.screen = aggregator.NormScreen{
+		MaxNorm:      cfg.Aggregation.ScreenMaxNorm,
+		MedianFactor: cfg.Aggregation.ScreenMedianFactor,
+	}
+	if cfg.DP.Enabled() {
+		c.dp = newDPState(cfg.DP)
 	}
 	v, err := store.Put(cfg.ModelName, m)
 	if err != nil {
@@ -358,10 +386,10 @@ func New(cfg Config) (*Coordinator, error) {
 		"update_rejected_unassigned", "update_rejected_future",
 		"update_rejected_stale", "update_rejected_late",
 		"update_rejected_oversize", "update_lazy_payload",
-		"updates_aggregated",
+		"updates_aggregated", "updates_screened_norm", "dp_rounds",
 		"rounds_committed", "rounds_abandoned", "round_fsm_error",
 		"round_aggregate_error", "round_aggregate_nonfinite",
-		"round_publish_error",
+		"round_aggregate_robust_error", "round_publish_error",
 		"publish_pending", "persist_error", "persist_retry",
 		"persist_barrier", "versions_pruned", "devices_swept",
 		"transport_fallback_f32", "sched_rebuilds",
@@ -1014,6 +1042,29 @@ func (c *Coordinator) commitLocked(r *Round, now time.Time) {
 		c.counters.Counter("round_fsm_error").Inc()
 		return
 	}
+	// Stage 0: the pre-reduce norm screen. Outlier updates (boosted
+	// poison, norm overflow, NaN norms) never reach the reducer — or, in
+	// hierarchical mode, the shard partial; the screen is a per-update
+	// predicate, so per-cohort application stays sound where the robust
+	// reducers would not. Rejected updates stay in the round buffer (it
+	// still owns their payload releases at termination) but forfeit their
+	// devices' telemetry trust. A round the screen empties aborts before
+	// any mutation — rollback is the no-op case of the ErrNonFinite path.
+	if c.screen.Enabled() {
+		kept, rejected := c.screen.Apply(updates)
+		if len(rejected) > 0 {
+			c.counters.Counter("updates_screened_norm").Add(int64(len(rejected)))
+			r.noteScreened(len(rejected))
+			for _, u := range rejected {
+				c.reg.NoteScreened(u.ClientID)
+			}
+			if len(kept) == 0 {
+				c.abortCommitLocked(r, bs, nil, "round_aggregate_robust_error", now)
+				return
+			}
+			updates = kept
+		}
+	}
 	if c.cfg.Exchange != nil {
 		// Hierarchical mode: reduce the round to a weighted partial and
 		// ship it to the tier leader instead of committing locally.
@@ -1039,6 +1090,19 @@ func (c *Coordinator) commitLocked(r *Round, now time.Time) {
 		// validates before mutating, so there is nothing to roll back.
 		c.abortCommitLocked(r, bs, nil, "round_aggregate_error", now)
 		return
+	}
+	// Stage 1b: central DP — clip the aggregate round delta and add
+	// seeded Gaussian noise (screen → reduce → clip → noise). Clip keeps
+	// the delta finite even past float overflow (an infinite norm scales
+	// it to zero) and the noise is finite by construction, so nothing
+	// here can reintroduce what the fused non-finite screen just ruled
+	// out.
+	if c.dp != nil {
+		eps, noised := c.dp.apply(params, bs.published, bs.version+1, len(updates))
+		if noised {
+			c.counters.Counter("dp_rounds").Inc()
+			r.noteEpsilon(eps)
+		}
 	}
 	if c.publishLocked(r, bs, bs.version+1, now) {
 		c.counters.Counter("updates_aggregated").Add(int64(len(updates)))
@@ -1257,7 +1321,8 @@ func (c *Coordinator) finishLocked(r *Round, newVersion int, bs *broadcastState,
 func (c *Coordinator) Status() StatusReport {
 	now := c.cfg.Clock()
 	census := c.reg.Census(c.cfg.Criteria, now)
-	rs := c.serving.Load().round.status()
+	sv := c.serving.Load()
+	rs := sv.round.status()
 	recent := make([]RoundSummary, 0, 8)
 	c.historyMu.Lock()
 	if n := len(c.history); n > 0 {
@@ -1268,15 +1333,24 @@ func (c *Coordinator) Status() StatusReport {
 		recent = append(recent, c.history[lo:]...)
 	}
 	c.historyMu.Unlock()
-	return StatusReport{
-		Mode:      c.cfg.Mode,
-		ModelKind: c.cfg.ModelKind,
-		ModelName: c.cfg.ModelName,
-		Version:   int(c.version.Load()),
-		Round:     rs,
-		Devices:   census,
-		Scheduler: c.sched.Report(),
-		Counters:  c.counters.Snapshot(),
-		Recent:    recent,
+	st := StatusReport{
+		Mode:        c.cfg.Mode,
+		ModelKind:   c.cfg.ModelKind,
+		ModelName:   c.cfg.ModelName,
+		Version:     int(c.version.Load()),
+		Round:       rs,
+		Devices:     census,
+		Scheduler:   c.sched.Report(),
+		Counters:    c.counters.Snapshot(),
+		Recent:      recent,
+		Aggregation: c.strategy.Name(),
+		// The published snapshot is immutable once swapped in, so the
+		// norm scan is safe without mu (O(dim), but Status is a
+		// dashboard path).
+		ModelNorm: sv.bcast.published.Norm2(),
 	}
+	if c.dp != nil {
+		st.Privacy = c.dp.report()
+	}
+	return st
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flint/internal/aggregator"
 	"flint/internal/availability"
 	"flint/internal/codec"
 	"flint/internal/device"
@@ -66,6 +67,26 @@ type FleetConfig struct {
 	ComputeScale float64
 	// DeltaScale is the magnitude of the synthetic update deltas.
 	DeltaScale float64
+	// DeltaBias adds a constant per-coordinate drift to every honest
+	// device's synthetic delta, so the published model's norm moves in a
+	// deterministic direction round over round. Pure zero-mean deltas
+	// would make an undefended poisoned run statistically similar to a
+	// defended one; with a bias, boosted sign-flip attackers drag the
+	// model the other way and the drift gap is visible in /v1/status's
+	// model_norm (what the poison-replay drills assert on). 0 disables.
+	DeltaBias float64
+	// PoisonFraction puts that share of the fleet under adversary
+	// control, chosen deterministically per (Seed, device ID) via the
+	// simulator's Adversary model — the §4.1 hub-and-spoke attack
+	// replayed against the live server. 0 disables.
+	PoisonFraction float64
+	// PoisonMode names the attack compromised devices mount: "sign-flip"
+	// (default; the honest delta negated and boosted by PoisonScale) or
+	// "random-noise" (Gaussian noise of std PoisonScale·DeltaScale).
+	PoisonMode string
+	// PoisonScale is the attack boost factor (default 10 — large enough
+	// that a median-factor norm screen sees the outliers).
+	PoisonScale float64
 	// Timeout bounds the whole run.
 	Timeout time.Duration
 	// JSONFraction is the share of devices kept on the legacy JSON
@@ -126,6 +147,19 @@ func (c FleetConfig) withDefaults() (FleetConfig, error) {
 	if c.DeltaScale <= 0 {
 		c.DeltaScale = 0.01
 	}
+	if c.PoisonFraction < 0 || c.PoisonFraction > 1 {
+		return c, fmt.Errorf("coord: poison fraction %v outside [0, 1]", c.PoisonFraction)
+	}
+	switch c.PoisonMode {
+	case "":
+		c.PoisonMode = "sign-flip"
+	case "sign-flip", "random-noise":
+	default:
+		return c, fmt.Errorf("coord: unknown poison mode %q (want sign-flip or random-noise)", c.PoisonMode)
+	}
+	if c.PoisonScale <= 0 {
+		c.PoisonScale = 10
+	}
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Minute
 	}
@@ -154,6 +188,16 @@ func (c FleetConfig) withDefaults() (FleetConfig, error) {
 		c.Client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
 	}
 	return c, nil
+}
+
+// attack builds the adversary's Attack from the poison knobs (the same
+// simulator implementations the offline §4 ablations use, replayed over
+// the live protocol).
+func (c FleetConfig) attack() aggregator.Attack {
+	if c.PoisonMode == "random-noise" {
+		return aggregator.RandomNoise{Std: c.PoisonScale * c.DeltaScale}
+	}
+	return aggregator.SignFlip{Scale: c.PoisonScale}
 }
 
 // api builds a /v1 endpoint URL, routed through the job's path prefix
@@ -202,9 +246,12 @@ type FleetReport struct {
 	// BinaryDevices negotiate schemes and track their base version for
 	// delta broadcast; LegacyDevices speak the pre-negotiation binary
 	// protocol (full broadcast only); JSONDevices stay on legacy JSON.
-	BinaryDevices   int           `json:"binary_devices"`
-	LegacyDevices   int           `json:"legacy_devices"`
-	JSONDevices     int           `json:"json_devices"`
+	BinaryDevices int `json:"binary_devices"`
+	LegacyDevices int `json:"legacy_devices"`
+	JSONDevices   int `json:"json_devices"`
+	// PoisonedDevices is how many fleet devices the configured adversary
+	// compromised (0 when PoisonFraction is 0).
+	PoisonedDevices int           `json:"poisoned_devices,omitempty"`
 	RoundsCommitted int           `json:"rounds_committed"`
 	StartVersion    int           `json:"start_version"`
 	EndVersion      int           `json:"end_version"`
@@ -240,6 +287,16 @@ func (r *FleetReport) String() string {
 		r.Devices, r.BinaryDevices, r.LegacyDevices, r.JSONDevices, r.StartVersion, r.EndVersion, r.RoundsCommitted, r.Wall.Seconds())
 	if r.TierShards > 0 {
 		fmt.Fprintf(&b, "  tier: routed through a %d-shard gateway\n", r.TierShards)
+	}
+	if r.PoisonedDevices > 0 {
+		fmt.Fprintf(&b, "  adversary: %d devices compromised\n", r.PoisonedDevices)
+	}
+	if r.FinalStatus != nil {
+		fmt.Fprintf(&b, "  model: L2 norm %.4f after v%d", r.FinalStatus.ModelNorm, r.EndVersion)
+		if p := r.FinalStatus.Privacy; p != nil {
+			fmt.Fprintf(&b, "  (ε spent %.3f over %d DP rounds, δ=%.0e)", p.EpsilonSpent, p.DPRounds, p.Delta)
+		}
+		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "  requests: %d check-ins, %d tasks (%d delta), %d updates accepted, %d rejected, %d net errors (%.0f req/s)\n",
 		r.CheckIns, r.TasksReceived, r.DeltaTasks, r.UpdatesAccepted, r.UpdatesRejected, r.NetErrors, r.RequestsPerSec)
@@ -318,8 +375,10 @@ type fleetDevice struct {
 	// legacy marks a pre-negotiation binary device: no capability
 	// advertisement, no base tracking, full broadcast every task.
 	legacy bool
-	rng    *rand.Rand
-	lat    latRecorder
+	// poisoned devices mount the configured attack on every submission.
+	poisoned bool
+	rng      *rand.Rand
+	lat      latRecorder
 	// params/version mirror the device's last applied model state: the
 	// base the server can serve deltas against. Only current (non-legacy)
 	// binary devices maintain them.
@@ -375,6 +434,15 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 			return nil, err
 		}
 	}
+	// Compromise the configured fraction with the simulator's per-ID
+	// deterministic adversary, so a given (seed, fleet) always replays
+	// the same attacker set.
+	adversary := aggregator.Adversary{
+		Attack:   cfg.attack(),
+		Fraction: cfg.PoisonFraction,
+		Seed:     cfg.Seed,
+	}
+	poisonedCount := 0
 	devs := make([]*fleetDevice, cfg.Devices)
 	for i, s := range sampled {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
@@ -387,8 +455,12 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 			weight:   20 + float64(rng.Intn(180)),
 			binary:   i >= jsonCount,
 			legacy:   i >= jsonCount && i < jsonCount+legacyCount,
+			poisoned: adversary.Compromised(cfg.IDOffset + int64(i+1)),
 			rng:      rng,
 			sessions: traces[int64(i)],
+		}
+		if devs[i].poisoned {
+			poisonedCount++
 		}
 		if cfg.Bandwidth != nil {
 			// The link is sampled independently of any session's WiFi
@@ -484,6 +556,7 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 		BinaryDevices:   cfg.Devices - jsonCount - legacyCount,
 		LegacyDevices:   legacyCount,
 		JSONDevices:     jsonCount,
+		PoisonedDevices: poisonedCount,
 		RoundsCommitted: endStatus.Version - startStatus.Version,
 		StartVersion:    startStatus.Version,
 		EndVersion:      endStatus.Version,
@@ -816,7 +889,13 @@ func (d *fleetDevice) fetchTaskBinary(ctx context.Context, cfg FleetConfig) (*Ta
 func (d *fleetDevice) submit(ctx context.Context, cfg FleetConfig, task *TaskResponse) (bool, error) {
 	delta := make(tensor.Vector, task.Dim)
 	for i := range delta {
-		delta[i] = d.rng.NormFloat64() * cfg.DeltaScale
+		delta[i] = d.rng.NormFloat64()*cfg.DeltaScale + cfg.DeltaBias
+	}
+	if d.poisoned {
+		// Compromised devices submit the attack's version of their honest
+		// delta — through the same wire path, so the server can't tell
+		// attacker traffic apart except by the update's contents.
+		delta = cfg.attack().Poison(aggregator.Update{ClientID: d.id, Delta: delta}, d.rng).Delta
 	}
 	// Binary uploads only when the server advertised a scheme with the
 	// task: a pre-codec server never does, so new devices degrade to

@@ -341,6 +341,20 @@ func (r *Registry) ReleaseIf(id int64, round uint64) {
 	}
 }
 
+// NoteScreened records that the norm screen rejected the device's update
+// at commit: its telemetry trust is revoked (sample counts zeroed, EWMAs
+// kept — see sched.Telemetry.Distrust), so the scheduling plane treats it
+// as unmeasured until fresh honest transfers re-earn trust. O(1), one
+// shard lock; unknown devices are ignored.
+func (r *Registry) NoteScreened(id int64) {
+	s := r.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.devs[id]; ok {
+		d.tel.Distrust()
+	}
+}
+
 // NoteDelivered records the published version the device now holds (it
 // was just served that version's full blob, or a delta rebuilding it).
 // O(1), one shard lock; unknown devices are ignored.

@@ -67,6 +67,12 @@ type Round struct {
 	// whole registry.
 	assignedIDs []int64
 	updates     []aggregator.Update
+	// screenedNorm counts updates the commit pipeline's norm screen
+	// rejected before the reduce; epsilonSpent is the cumulative privacy
+	// budget after this round's DP noise (0 when DP is off). Both are
+	// stamped by the commit pipeline and surface in the round summary.
+	screenedNorm int
+	epsilonSpent float64
 }
 
 // newRound opens a round in PhaseOpen.
@@ -223,6 +229,21 @@ func (r *Round) beginAggregate() (updates []aggregator.Update, ok bool) {
 	return r.updates, true
 }
 
+// noteScreened records how many updates the norm screen rejected.
+func (r *Round) noteScreened(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.screenedNorm = n
+}
+
+// noteEpsilon records the cumulative privacy budget after this round's
+// DP noise.
+func (r *Round) noteEpsilon(eps float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epsilonSpent = eps
+}
+
 // conclude moves the round to its terminal phase (committed/abandoned).
 func (r *Round) conclude(to Phase) error { return r.advance(to) }
 
@@ -293,18 +314,26 @@ type RoundSummary struct {
 	Assigned    int           `json:"assigned"`
 	Updates     int           `json:"updates"`
 	Duration    time.Duration `json:"duration_ns"`
+	// ScreenedNorm counts updates the norm screen rejected before the
+	// reduce (still included in Updates — they were collected).
+	ScreenedNorm int `json:"screened_norm,omitempty"`
+	// EpsilonSpent is the cumulative (ε, δ) privacy budget after this
+	// round's DP noise; 0 when DP is off.
+	EpsilonSpent float64 `json:"epsilon_spent,omitempty"`
 }
 
 func (r *Round) summary(newVersion int, now time.Time) RoundSummary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return RoundSummary{
-		ID:          r.ID,
-		Phase:       r.phase,
-		BaseVersion: r.BaseVersion,
-		NewVersion:  newVersion,
-		Assigned:    len(r.assignedIDs),
-		Updates:     len(r.updates),
-		Duration:    now.Sub(r.Opened),
+		ID:           r.ID,
+		Phase:        r.phase,
+		BaseVersion:  r.BaseVersion,
+		NewVersion:   newVersion,
+		Assigned:     len(r.assignedIDs),
+		Updates:      len(r.updates),
+		Duration:     now.Sub(r.Opened),
+		ScreenedNorm: r.screenedNorm,
+		EpsilonSpent: r.epsilonSpent,
 	}
 }

@@ -89,6 +89,18 @@ func ewma(prev, x, alpha float64, samples int) float64 {
 	return alpha*x + (1-alpha)*prev
 }
 
+// Distrust zeroes the telemetry's earned sample counts while keeping the
+// EWMA values — the same degradation Decayed applies to a long-idle
+// device, but immediate. The commit pipeline applies it to devices whose
+// updates the norm screen rejected: a device submitting outlier updates
+// forfeits the trust its measurements earned (it drops out of the
+// measured cohort map and the optimistic deadline gate), yet its next
+// honest transfers still blend against the old means rather than a cold
+// seed.
+func (t *Telemetry) Distrust() {
+	t.UpSamples, t.DownSamples, t.TaskSamples = 0, 0, 0
+}
+
 // maxDecaySteps caps the decay shift; 32 halvings zero any realistic
 // sample count, and an unbounded shift of a huge idle/ttl ratio would be
 // undefined behavior territory for the compiler's shift lowering.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -45,6 +46,19 @@ var gatewayCounters = []string{
 	"route_by_device", "route_default", "route_rejected",
 	"halt_rejected_tasks", "proxy_errors", "rollup_requests",
 	"partials_proxied",
+}
+
+// haltRetryAfter renders a 503 halt response's Retry-After with ±25%
+// jitter around base seconds, as a fractional-seconds decimal ("0.87").
+// A fixed "1" would march every halted client back in one synchronized
+// thundering herd the instant the tier recovers; jittering at the source
+// spreads the retry wave without trusting every client to implement its
+// own backoff. Integer rounding at a 1-second base would erase the
+// jitter entirely, hence the decimal — strictly, delay-seconds is an
+// integer field, but clients that parse it at all accept floats, and
+// rounding ones still collapse to at most two retry cohorts.
+func haltRetryAfter(base float64) string {
+	return strconv.FormatFloat(base*(0.75+0.5*rand.Float64()), 'f', 2, 64)
 }
 
 // Gateway is the tier's front door: one HTTP handler that routes the
@@ -177,7 +191,7 @@ func (g *Gateway) route(w http.ResponseWriter, r *http.Request) {
 			// already in flight still land; only new work stops until
 			// membership recovers.
 			g.counters.Counter("halt_rejected_tasks").Inc()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", haltRetryAfter(1))
 			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("shard tier halted (membership unhealthy)"))
 			return
 		}
@@ -295,7 +309,7 @@ func (g *Gateway) handlePartial(w http.ResponseWriter, r *http.Request) {
 	}
 	inst, err := g.leader.SubmitPartial(pc)
 	if err == coord.ErrTierHalted {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", haltRetryAfter(1))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}

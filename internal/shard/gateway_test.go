@@ -94,8 +94,18 @@ func TestGatewayHaltsTasksWhileUnhealthy(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("halted tier served a task: %s", resp.Status)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Fatal("halt response missing Retry-After")
+	}
+	// The header carries jitter (±25% around 1s) so a halted fleet does
+	// not retry in lockstep when the tier heals.
+	secs, err := strconv.ParseFloat(ra, 64)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not a number: %v", ra, err)
+	}
+	if secs < 0.75 || secs > 1.25 {
+		t.Fatalf("Retry-After %v outside the ±25%% jitter band around 1s", secs)
 	}
 	if recs[0].count()+recs[1].count() != 0 {
 		t.Fatal("halted task leaked through to a shard")

@@ -136,6 +136,22 @@ type JobSpec struct {
 	// Default and LowBW overlay the job's per-cohort wire policies.
 	Default *CohortSpec `json:"default_cohort,omitempty"`
 	LowBW   *CohortSpec `json:"lowbw_cohort,omitempty"`
+	// Aggregation picks the job's commit reducer ("fedavg", "fedbuff",
+	// "trimmed-mean", "coordinate-median"; empty inherits the base
+	// config, whose empty default is the mode's standard reducer).
+	Aggregation string `json:"aggregation,omitempty"`
+	// TrimFrac is trimmed-mean's per-side trim fraction.
+	TrimFrac float64 `json:"trim_frac,omitempty"`
+	// ScreenMaxNorm / ScreenMedianFactor parameterize the job's
+	// pre-reduce norm screen (see coord.AggregationConfig).
+	ScreenMaxNorm      float64 `json:"screen_max_norm,omitempty"`
+	ScreenMedianFactor float64 `json:"screen_median_factor,omitempty"`
+	// DPEpsilon/DPDelta/DPClipNorm/DPSeed enable the job's central-DP
+	// commit stage (see coord.DPConfig); zero fields inherit the base.
+	DPEpsilon  float64 `json:"dp_epsilon,omitempty"`
+	DPDelta    float64 `json:"dp_delta,omitempty"`
+	DPClipNorm float64 `json:"dp_clip_norm,omitempty"`
+	DPSeed     int64   `json:"dp_seed,omitempty"`
 	// MaxDevices is the job's device quota: how many distinct devices
 	// may be checked in at once (0 = unlimited). Over-quota check-ins
 	// get 429 and checkin_rejected_quota.
@@ -224,6 +240,30 @@ func (s JobSpec) coordConfig(base coord.Config) (coord.Config, error) {
 	}
 	if cfg.Transport.LowBW, err = s.LowBW.apply(cfg.Transport.LowBW); err != nil {
 		return cfg, fmt.Errorf("tenant: job %s lowbw cohort: %w", s.Name, err)
+	}
+	if s.Aggregation != "" {
+		cfg.Aggregation.Strategy = s.Aggregation
+	}
+	if s.TrimFrac != 0 {
+		cfg.Aggregation.TrimFrac = s.TrimFrac
+	}
+	if s.ScreenMaxNorm != 0 {
+		cfg.Aggregation.ScreenMaxNorm = s.ScreenMaxNorm
+	}
+	if s.ScreenMedianFactor != 0 {
+		cfg.Aggregation.ScreenMedianFactor = s.ScreenMedianFactor
+	}
+	if s.DPEpsilon != 0 {
+		cfg.DP.Epsilon = s.DPEpsilon
+	}
+	if s.DPDelta != 0 {
+		cfg.DP.Delta = s.DPDelta
+	}
+	if s.DPClipNorm != 0 {
+		cfg.DP.ClipNorm = s.DPClipNorm
+	}
+	if s.DPSeed != 0 {
+		cfg.DP.Seed = s.DPSeed
 	}
 	cfg.MaxDevices = s.MaxDevices
 	if cfg.Exchange != nil {

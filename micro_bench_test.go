@@ -573,15 +573,129 @@ func BenchmarkCommitLatency(b *testing.B) {
 	b.ReportMetric(matNs/fusedNs, "speedup")
 }
 
+// BenchmarkRobustCommitLatency prices the defended commit path: the same
+// 189k-param, 16-device wire-form cycle as BenchmarkCommitLatency, but
+// through the full robustness pipeline — per-update norm screen (4 of the
+// 16 blobs are sign-flip-boosted ×10 and rejected every round), sharded
+// trimmed-mean over the survivors' pooled payload windows, then the
+// central-DP clip + seeded-noise stage. The gated baseline pins how much
+// the defenses cost on top of the raw zero-copy commit; screened-counter
+// verification keeps a silently disabled screen from faking the number.
+func BenchmarkRobustCommitLatency(b *testing.B) {
+	const (
+		dim      = 189_039
+		devices  = 16
+		poisoned = 4
+	)
+	c, err := coord.New(coord.Config{
+		Mode:          coord.ModeSync,
+		ModelKind:     model.KindB, // 189k params
+		Seed:          1,
+		TargetUpdates: devices,
+		Quorum:        devices - poisoned,
+		OverCommit:    1,
+		RoundDeadline: time.Hour,
+		QueueDepth:    64,
+		KeepVersions:  4,
+		Aggregation:   coord.AggregationConfig{Strategy: "trimmed-mean"},
+		DP:            coord.DPConfig{Epsilon: 8},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for id := int64(1); id <= devices; id++ {
+		c.CheckIn(coord.DeviceInfo{
+			ID: id, Model: "Pixel-6", Platform: "Android",
+			WiFi: true, BatteryHigh: true, ModernOS: true,
+			SessionSec: 3600, Weight: 10,
+		})
+	}
+	rng := rand.New(rand.NewSource(21))
+	blobs := make([][]byte, devices)
+	for d := range blobs {
+		v := tensor.NewVector(dim)
+		for j := range v {
+			v[j] = rng.NormFloat64() * 0.01
+		}
+		if d < poisoned {
+			v.Scale(-10) // boosted sign-flip: norm 10× the honest median
+		}
+		blob, err := codec.Encode(v, codec.Q8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blobs[d] = blob
+	}
+	round := func() {
+		want := c.Version() + 1
+		for d := 0; d < devices; d++ {
+			id := int64(d + 1)
+			var task coord.Task
+			for {
+				t, err := c.RequestTask(id)
+				if err == nil {
+					task = t
+					break
+				}
+				if !errors.Is(err, coord.ErrNoTask) {
+					b.Fatal(err)
+				}
+				runtime.Gosched()
+			}
+			for {
+				p, err := codec.DecodePayloadFrom(bytes.NewReader(blobs[d]), dim)
+				if err != nil {
+					b.Fatal(err)
+				}
+				err = c.SubmitUpdate(coord.Submission{
+					DeviceID: id, RoundID: task.RoundID,
+					BaseVersion: task.BaseVersion, Weight: 1, Payload: p,
+				})
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, coord.ErrBusy) {
+					b.Fatal(err)
+				}
+				runtime.Gosched()
+			}
+		}
+		for c.Version() < want {
+			runtime.Gosched()
+		}
+	}
+	round() // warm pools; proves the defended pipeline commits at all
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	b.StopTimer()
+	screened := c.Counters().Counter("updates_screened_norm").Value()
+	if want := int64(poisoned) * int64(b.N+1); screened != want {
+		b.Fatalf("updates_screened_norm = %d, want %d: the screen is not doing its job", screened, want)
+	}
+	if c.Counters().Counter("dp_rounds").Value() == 0 {
+		b.Fatal("dp_rounds = 0: the DP stage never ran")
+	}
+	b.ReportMetric(float64(screened)/float64(b.N+1), "screened/round")
+}
+
+// benchServePopulation is the device-id cycle length for the task-serve
+// storm benchmarks below: large enough that assignment collisions are
+// rare, small enough that a long ramp can't grow the registry past it.
+const benchServePopulation = 16384
+
 // BenchmarkTaskServeDuringCommit measures the headline serving claim of
 // the broadcast-plane split: task-request latency on the 189k-param model
 // *while the commit pipeline is continuously aggregating, encoding, and
 // publishing*. Before the split every /v1/task waited on the coordinator
 // mutex a commit held through O(K·dim) work and a store write; now the
 // task path reads an atomic snapshot and never blocks. Each op is one
-// fresh device's check-in + task request (what a round-start task storm
-// looks like); committed rounds during the bench are reported so a run
-// that quietly stopped committing can't fake the number.
+// device check-in + task request (what a round-start task storm looks
+// like); committed rounds during the bench are reported so a run that
+// quietly stopped committing can't fake the number.
 func BenchmarkTaskServeDuringCommit(b *testing.B) {
 	c, err := coord.New(coord.Config{
 		Mode:           coord.ModeAsync,
@@ -637,14 +751,17 @@ func BenchmarkTaskServeDuringCommit(b *testing.B) {
 			}
 		}(int64(w + 1))
 	}
+	// Cycle a fixed population instead of registering a fresh device per
+	// op: registry size and cohort-rebuild cost must not scale with
+	// whatever iteration count the bench framework ramps to, or the
+	// ns/op depends on b.N (the gated number turns into a coin flip).
 	var next atomic.Int64
-	next.Store(1 << 20)
 	start := c.Version()
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			id := next.Add(1)
+			id := 1<<20 + next.Add(1)%benchServePopulation
 			c.CheckIn(info(id))
 			if _, err := c.RequestTaskWith(id, coord.TaskQuery{Binary: true}); err != nil &&
 				!errors.Is(err, coord.ErrNoTask) {
@@ -738,14 +855,15 @@ func BenchmarkMultiJobTaskServe(b *testing.B) {
 				}
 			}
 			served := coords[0]
+			// Fixed population for the same reason as
+			// BenchmarkTaskServeDuringCommit: ns/op must not depend on b.N.
 			var next atomic.Int64
-			next.Store(1 << 20)
 			start := served.Version()
 			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					id := next.Add(1)
+					id := 1<<20 + next.Add(1)%benchServePopulation
 					served.CheckIn(info(id))
 					if _, err := served.RequestTaskWith(id, coord.TaskQuery{Binary: true}); err != nil &&
 						!errors.Is(err, coord.ErrNoTask) {

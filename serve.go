@@ -26,6 +26,15 @@ type (
 	CoordMode = coord.Mode
 	// CoordStatus is the coordinator's status snapshot.
 	CoordStatus = coord.StatusReport
+	// CoordAggregationConfig selects the commit reducer and the
+	// pre-reduce norm screen (CoordConfig.Aggregation).
+	CoordAggregationConfig = coord.AggregationConfig
+	// CoordDPConfig enables the commit pipeline's central-DP stage
+	// (CoordConfig.DP): clip the aggregate delta, add seeded Gaussian
+	// noise, account ε per round.
+	CoordDPConfig = coord.DPConfig
+	// CoordPrivacyReport is the DP accountant's /v1/status view.
+	CoordPrivacyReport = coord.PrivacyReport
 	// FleetConfig drives the synthetic device fleet.
 	FleetConfig = coord.FleetConfig
 	// FleetReport is the load generator's result.
@@ -229,9 +238,13 @@ type (
 	// AggregatorUpdate is one client's contribution to a round.
 	AggregatorUpdate = aggregator.Update
 	// ParallelAggregator shards a coordinate-separable strategy (FedAvg,
-	// FedBuff) across cores, bit-for-bit identical to the sequential
-	// fold; other strategies pass through unchanged.
+	// FedBuff, the robust column reducers) across cores, bit-for-bit
+	// identical to the sequential fold; other strategies pass through
+	// unchanged.
 	ParallelAggregator = aggregator.Parallel
+	// AggregatorNormScreen is the pre-reduce norm-outlier rejection
+	// layer of the commit pipeline.
+	AggregatorNormScreen = aggregator.NormScreen
 )
 
 // FedAvgStrategy returns synchronous weighted federated averaging.
@@ -242,6 +255,16 @@ func FedAvgStrategy() AggregatorStrategy { return aggregator.FedAvg{} }
 func FedBuffStrategy(serverLR, alpha float64) AggregatorStrategy {
 	return aggregator.FedBuff{ServerLR: serverLR, Alpha: alpha}
 }
+
+// TrimmedMeanStrategy returns the Byzantine-robust coordinate-wise
+// trimmed mean (trimFrac trimmed from each side per coordinate).
+func TrimmedMeanStrategy(trimFrac float64) AggregatorStrategy {
+	return aggregator.TrimmedMean{TrimFrac: trimFrac}
+}
+
+// CoordinateMedianStrategy returns the Byzantine-robust coordinate-wise
+// median.
+func CoordinateMedianStrategy() AggregatorStrategy { return aggregator.CoordinateMedian{} }
 
 // Sharded coordination tier (internal/shard): N coordinator replicas
 // each owning a consistent-hash slice of the device-id space behind a
