@@ -19,6 +19,16 @@
 // cmd/flint-gateway: the run waits for the tier to report healthy, then
 // drives rounds through the gateway's device routing — every other flag
 // (churn, bandwidth, fractions) works unchanged.
+//
+// -virtual switches to the virtual-time load plane (internal/vload):
+// instead of a goroutine per device, batched virtual devices are
+// multiplexed over event heaps in compressed virtual time, scaling the
+// same protocol traffic to hundreds of thousands or millions of devices.
+// The server must run with a matching -sched-time-compression so
+// device-reported virtual timings land in the right clock domain:
+//
+//	flint-server -mode sync -target 64 -sched-time-compression 360 &
+//	flint-fleet -virtual -devices 1000000 -compression 360 -vduration 24h
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 
 	"flint/internal/coord"
 	"flint/internal/network"
+	"flint/internal/vload"
 )
 
 func main() {
@@ -56,6 +67,13 @@ func main() {
 	jobs := flag.String("jobs", "", "multi-tenant: comma-separated job list (name or name=token); devices split evenly across jobs with disjoint IDs")
 	gateway := flag.Bool("gateway", false, "-server is a shard-tier gateway (flint-gateway): wait for tier health, then watch the rollup for round progress")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
+	virtual := flag.Bool("virtual", false, "virtual-time load plane: multiplex batched virtual devices over event heaps in compressed virtual time (vload)")
+	compression := flag.Float64("compression", 60, "virtual: virtual seconds per wall second (server needs a matching -sched-time-compression)")
+	vduration := flag.Duration("vduration", 24*time.Hour, "virtual: virtual time to simulate (24h = one diurnal cycle)")
+	vworkers := flag.Int("vworkers", 0, "virtual: event-loop workers / connection-pool bound (0 = 4 x GOMAXPROCS)")
+	vbatch := flag.Int("vbatch", 2048, "virtual: devices per POST /v1/checkin/batch request")
+	vthink := flag.Duration("vthink", 120*time.Second, "virtual: mean in-session re-poll interval, in virtual time")
+	vsessions := flag.Float64("vsessions", 3, "virtual: mean device sessions per virtual day (diurnally modulated)")
 	flag.Parse()
 
 	var bw *network.BandwidthModel
@@ -63,6 +81,38 @@ func main() {
 		m := network.Default
 		m.MedianMbps = *bandwidth
 		bw = &m
+	}
+	if *virtual {
+		rep, err := vload.Run(vload.Config{
+			BaseURL:         *server,
+			Gateway:         *gateway,
+			Devices:         *devices,
+			Compression:     *compression,
+			VirtualDuration: *vduration,
+			Rounds:          *rounds,
+			Seed:            *seed,
+			Workers:         *vworkers,
+			Batch:           *vbatch,
+			Think:           *vthink,
+			SessionsPerDay:  *vsessions,
+			Bandwidth:       bw,
+			Timeout:         *timeout,
+		})
+		if rep != nil {
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(rep); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				fmt.Print(rep.String())
+			}
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	base := coord.FleetConfig{
 		BaseURL:        *server,

@@ -131,6 +131,29 @@ func batteryHourShift(hour int) float64 {
 	}
 }
 
+// DiurnalIntensity exposes the hour-of-day intensity profile (0.0–1.0,
+// peak 1.0 in the evening) so virtual-time load planes can thin
+// procedurally sampled wake-ups against the same curve the trace
+// generator uses — a million-device plane cannot materialize a session
+// log, but its traffic must still breathe with the same diurnal shape.
+// Hours outside 0–23 wrap.
+func DiurnalIntensity(hour int) float64 {
+	return diurnalCurve[((hour%24)+24)%24]
+}
+
+// WeekdayIntensity exposes the day-of-week scaling (0 = Monday), the
+// weekly half of the Fig 2 fluctuation shape. Days outside 0–6 wrap.
+func WeekdayIntensity(day int) float64 {
+	return weekdayFactor[((day%7)+7)%7]
+}
+
+// WiFiShift and BatteryShift expose the hour-of-day device-state drifts
+// (WiFi up overnight at home, batteries draining into the evening) for
+// load planes sampling device state procedurally. Hours wrap as in
+// DiurnalIntensity.
+func WiFiShift(hour int) float64    { return wifiHourShift(((hour % 24) + 24) % 24) }
+func BatteryShift(hour int) float64 { return batteryHourShift(((hour % 24) + 24) % 24) }
+
 // GenerateLog produces the processed session log for the configured
 // population. Sessions are sorted by start time.
 func GenerateLog(cfg LogConfig) ([]Session, error) {

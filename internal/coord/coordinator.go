@@ -232,6 +232,17 @@ type Coordinator struct {
 	// deadline gate, and straggler-tail over-commit, rebuilt from the
 	// registry's telemetry census by the watchdog.
 	sched *sched.Scheduler
+	// rebuildMu serializes fleet-census rebuilds and guards schedCensus,
+	// the sample buffer reused across them (tens of megabytes at a
+	// million-device census — reallocating it every rebuild period would
+	// dominate the rebuild's allocation bill). The watchdog runs rebuilds
+	// asynchronously and TryLocks: a census still walking when the next
+	// cadence tick fires means the fleet outgrew the cadence, and the
+	// right move is skipping the tick — never queueing a second walk, and
+	// never stalling deadline enforcement behind an O(fleet) scan.
+	rebuildMu   sync.Mutex
+	rebuildWG   sync.WaitGroup
+	schedCensus []sched.DeviceSample
 	// scratch recycles full-dim work vectors across the commit pipeline
 	// and the lazy delta-encode path, so steady-state delta encoding
 	// double-buffers instead of allocating a fresh vector per frame.
@@ -372,7 +383,7 @@ func New(cfg Config) (*Coordinator, error) {
 	// a busy one's.
 	for _, name := range []string{
 		"checkin_total", "checkin_eligible", "checkin_rejected_quota",
-		"checkin_unknown_scheme", "heartbeat_total",
+		"checkin_unknown_scheme", "checkin_batch", "heartbeat_total",
 		"task_assigned", "task_denied_round", "task_denied_device",
 		"task_denied_deadline", "task_probe_admitted",
 		"task_sent_binary", "task_sent_json", "task_sent_delta",
@@ -392,7 +403,7 @@ func New(cfg Config) (*Coordinator, error) {
 		"round_aggregate_robust_error", "round_publish_error",
 		"publish_pending", "persist_error", "persist_retry",
 		"persist_barrier", "versions_pruned", "devices_swept",
-		"transport_fallback_f32", "sched_rebuilds",
+		"transport_fallback_f32", "sched_rebuilds", "sched_rebuild_skipped",
 		"task_cohort_" + transport.CohortDefault, "task_cohort_" + transport.CohortLowBW,
 	} {
 		c.counters.Counter(name)
@@ -432,6 +443,10 @@ func (c *Coordinator) Close() {
 	if c.closed.CompareAndSwap(false, true) {
 		close(c.done)
 		c.loopWG.Wait()
+		// The watchdog spawns async census rebuilds; wait out any
+		// in-flight walk so Close never leaves a goroutine scanning a
+		// registry its owner considers stopped.
+		c.rebuildWG.Wait()
 		// The loops spawn exchange goroutines, so they stop first; an
 		// in-flight install may still be publishing under mu.
 		c.exchWG.Wait()
@@ -483,6 +498,63 @@ func (c *Coordinator) CheckIn(info DeviceInfo) CheckInResult {
 		Cohort:   dec.Cohort,
 		Policy:   dec.Policy,
 	}
+}
+
+// BatchCheckInResult is the coordinator's reply to a batched check-in:
+// aggregate counts instead of per-device echoes (devices learn their
+// cohort and schemes on their first task request), so the response stays
+// O(rejections) however large the batch is.
+type BatchCheckInResult struct {
+	// Accepted counts devices registered or refreshed; New counts the
+	// subset inserted for the first time; Eligible counts accepted
+	// devices admitted by the serving criteria.
+	Accepted int
+	New      int
+	Eligible int
+	// RejectedIDs lists new devices turned away by the MaxDevices quota
+	// (in input order); they were not registered.
+	RejectedIDs []int64
+	Version     int
+	RoundID     uint64
+}
+
+// CheckInBatch registers or refreshes a batch of devices in one call —
+// the registration-storm fast path: the registry groups the batch by
+// shard so lock traffic is per-stripe-per-batch, not per-device, and the
+// serving counters are bumped once per batch. Quota semantics match
+// CheckIn per device.
+func (c *Coordinator) CheckInBatch(infos []DeviceInfo) BatchCheckInResult {
+	now := c.cfg.Clock()
+	newCount, rejected := c.reg.CheckInBatch(infos, now, c.cfg.MaxDevices)
+	res := BatchCheckInResult{
+		Accepted:    len(infos) - len(rejected),
+		New:         newCount,
+		RejectedIDs: rejected,
+		Version:     int(c.version.Load()),
+		RoundID:     c.roundID.Load(),
+	}
+	var rejectedSet map[int64]struct{}
+	if len(rejected) > 0 {
+		rejectedSet = make(map[int64]struct{}, len(rejected))
+		for _, id := range rejected {
+			rejectedSet[id] = struct{}{}
+		}
+	}
+	for i := range infos {
+		if _, out := rejectedSet[infos[i].ID]; out {
+			continue
+		}
+		if c.cfg.Criteria.Admit(infos[i].session()) {
+			res.Eligible++
+		}
+	}
+	c.counters.Counter("checkin_batch").Inc()
+	c.counters.Counter("checkin_total").Add(int64(len(infos)))
+	c.counters.Counter("checkin_eligible").Add(int64(res.Eligible))
+	if len(rejected) > 0 {
+		c.counters.Counter("checkin_rejected_quota").Add(int64(len(rejected)))
+	}
+	return res
 }
 
 // negotiate maps a device's reported state (plus an optional per-request
@@ -548,6 +620,14 @@ func (c *Coordinator) Scheduler() *sched.Scheduler { return c.sched }
 // scale, and the /v1/status histograms. O(fleet) — called from the
 // watchdog every Sched.RebuildEvery, never from a serving path.
 func (c *Coordinator) rebuildSched(now time.Time) {
+	c.rebuildMu.Lock()
+	defer c.rebuildMu.Unlock()
+	c.rebuildSchedLocked(now)
+}
+
+// rebuildSchedLocked is the census walk body; callers hold rebuildMu
+// (which owns the reused schedCensus buffer).
+func (c *Coordinator) rebuildSchedLocked(now time.Time) {
 	if !c.sched.Enabled() {
 		return
 	}
@@ -563,8 +643,30 @@ func (c *Coordinator) rebuildSched(now time.Time) {
 		}
 		ests[cohort] = e
 	}
-	c.sched.Rebuild(c.reg.SchedSamples(c.cfg.Criteria, now, c.cfg.Sched.TelemetryTTL), c.cfg.RoundDeadline, ests)
+	c.schedCensus = c.reg.AppendSchedSamples(c.schedCensus[:0], c.cfg.Criteria, now, c.cfg.Sched.TelemetryTTL)
+	c.sched.Rebuild(c.schedCensus, c.cfg.RoundDeadline, ests)
 	c.counters.Counter("sched_rebuilds").Inc()
+}
+
+// spawnRebuildSched runs one census rebuild off the watchdog goroutine.
+// Single-flight: if the previous walk is still running, this tick is
+// skipped (sched_rebuild_skipped) — the watchdog's deadline enforcement
+// must never wait on an O(fleet) scan, and queueing walks behind an
+// overrun cadence would only dig the hole deeper.
+func (c *Coordinator) spawnRebuildSched(now time.Time) {
+	if !c.sched.Enabled() {
+		return
+	}
+	if !c.rebuildMu.TryLock() {
+		c.counters.Counter("sched_rebuild_skipped").Inc()
+		return
+	}
+	c.rebuildWG.Add(1)
+	go func() {
+		defer c.rebuildWG.Done()
+		defer c.rebuildMu.Unlock()
+		c.rebuildSchedLocked(now)
+	}()
 }
 
 // Heartbeat refreshes liveness for a checked-in device.
@@ -861,7 +963,7 @@ func (c *Coordinator) watchdog() {
 			now := c.cfg.Clock()
 			if now.Sub(lastRebuild) >= c.cfg.Sched.RebuildEvery {
 				lastRebuild = now
-				c.rebuildSched(now)
+				c.spawnRebuildSched(now)
 			}
 			if now.Sub(lastSweep) >= c.cfg.DeviceTTL {
 				lastSweep = now
@@ -1333,6 +1435,16 @@ func (c *Coordinator) Status() StatusReport {
 		recent = append(recent, c.history[lo:]...)
 	}
 	c.historyMu.Unlock()
+	sr := c.sched.Report()
+	// Stamp the registry half of the footprint section into the report
+	// copy: the scheduler half was filled at the last rebuild; the
+	// registry's is an O(1) layout estimate computed fresh here.
+	sr.Footprint.Devices = census.Known
+	sr.Footprint.RegistryBytes = c.reg.FootprintBytes()
+	if census.Known > 0 {
+		sr.Footprint.RegistryBytesPerDev =
+			float64(sr.Footprint.RegistryBytes) / float64(census.Known)
+	}
 	st := StatusReport{
 		Mode:        c.cfg.Mode,
 		ModelKind:   c.cfg.ModelKind,
@@ -1340,7 +1452,7 @@ func (c *Coordinator) Status() StatusReport {
 		Version:     int(c.version.Load()),
 		Round:       rs,
 		Devices:     census,
-		Scheduler:   c.sched.Report(),
+		Scheduler:   sr,
 		Counters:    c.counters.Snapshot(),
 		Recent:      recent,
 		Aggregation: c.strategy.Name(),

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"flint/internal/availability"
 	"flint/internal/codec"
@@ -46,39 +47,146 @@ func (d DeviceInfo) session() availability.Session {
 	}
 }
 
+// deviceState flags (packed session attributes).
+const (
+	devWiFi = 1 << iota
+	devBatteryHigh
+	devModernOS
+	// devAcceptKnown distinguishes "advertised a capability list" (even
+	// an empty one — the unusable-list fallback signal) from a legacy
+	// client that advertised nothing.
+	devAcceptKnown
+)
+
+// deviceState is the registry's resident per-device record, laid out for
+// a million-device census: session attributes packed into one flag byte,
+// the capability list packed into a scheme-kind bitmask, timestamps as
+// unix nanos instead of 24-byte time.Time values, and telemetry in its
+// 32-byte compact form — ~104 bytes against the ~200-plus of the naive
+// struct-of-API-types layout, stored by value in the shard map so there
+// is no per-device heap object at all. Model/platform strings are
+// interned registry-wide, so their bytes are shared across the fleet.
 type deviceState struct {
-	info     DeviceInfo
-	lastSeen time.Time
+	model, platform string // interned — header only, bytes shared
+	lastSeenNS      int64
 	// assignedRound is the round the device currently holds a task for
 	// (0 = idle).
 	assignedRound uint64
+	sessionSec    float32
+	weight        float32
 	// baseVersion is the published model version last delivered to the
 	// device (0 = never served params). The commit pipeline reads the
 	// distribution of these to pre-encode the delta frames the next task
 	// storm will actually ask for.
-	baseVersion int
+	baseVersion int32
+	// gateDenials counts consecutive deadline-gate rejections; every
+	// Nth is admitted as a re-measurement probe, and any fresh
+	// telemetry observation resets the streak.
+	gateDenials int32
+	flags       uint8
+	accept      uint8 // codec.Kind bitmask, valid when devAcceptKnown
 	// tel is the device's measured serving telemetry (EWMA link
 	// throughput, reported task durations) — the scheduling plane's
 	// ground truth, folded in on the update path and read at assignment
 	// time and by the scheduler's periodic fleet census.
-	tel sched.Telemetry
-	// gateDenials counts consecutive deadline-gate rejections; every
-	// Nth is admitted as a re-measurement probe, and any fresh
-	// telemetry observation resets the streak.
-	gateDenials int
+	tel sched.TelemetryState
+}
+
+// setInfo overwrites the reported state (a check-in), leaving the
+// serving bookkeeping (assignment, base version, telemetry) untouched.
+func (d *deviceState) setInfo(info DeviceInfo, intern func(string) string) {
+	d.model = intern(info.Model)
+	d.platform = intern(info.Platform)
+	d.sessionSec = float32(info.SessionSec)
+	d.weight = float32(info.Weight)
+	d.flags &^= devWiFi | devBatteryHigh | devModernOS | devAcceptKnown
+	if info.WiFi {
+		d.flags |= devWiFi
+	}
+	if info.BatteryHigh {
+		d.flags |= devBatteryHigh
+	}
+	if info.ModernOS {
+		d.flags |= devModernOS
+	}
+	if info.Accept != nil {
+		d.flags |= devAcceptKnown
+		d.accept = packAccept(info.Accept)
+	} else {
+		d.accept = 0
+	}
+}
+
+// info reconstructs the public DeviceInfo view.
+func (d *deviceState) info(id int64) DeviceInfo {
+	out := DeviceInfo{
+		ID:          id,
+		Model:       d.model,
+		Platform:    d.platform,
+		WiFi:        d.flags&devWiFi != 0,
+		BatteryHigh: d.flags&devBatteryHigh != 0,
+		ModernOS:    d.flags&devModernOS != 0,
+		SessionSec:  float64(d.sessionSec),
+		Weight:      float64(d.weight),
+	}
+	if d.flags&devAcceptKnown != 0 {
+		out.Accept = unpackAccept(d.accept)
+	}
+	return out
+}
+
+// session builds the Criteria.Admit input without materializing the
+// Accept slice (the census hot loop calls this per device).
+func (d *deviceState) session(id int64) availability.Session {
+	return availability.Session{
+		ClientID:    id,
+		Device:      d.model,
+		WiFi:        d.flags&devWiFi != 0,
+		BatteryHigh: d.flags&devBatteryHigh != 0,
+		ModernOS:    d.flags&devModernOS != 0,
+		Start:       0,
+		End:         float64(d.sessionSec),
+	}
+}
+
+// packAccept folds a capability list into a scheme-kind bitmask.
+// Negotiation is membership-based (transport.Negotiate builds a set), so
+// the list's order is not state worth 24 bytes of slice header plus a
+// heap array per device.
+func packAccept(kinds []codec.Kind) uint8 {
+	var mask uint8
+	for _, k := range kinds {
+		if k >= 1 && k <= 7 {
+			mask |= 1 << uint(k)
+		}
+	}
+	return mask
+}
+
+// unpackAccept expands the bitmask in kind-enum order. Always non-nil:
+// an empty advertised list round-trips as empty, not legacy.
+func unpackAccept(mask uint8) []codec.Kind {
+	out := make([]codec.Kind, 0, 4)
+	for k := codec.Kind(1); k <= 7; k++ {
+		if mask&(1<<uint(k)) != 0 {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // regShard is one lock stripe of the registry. Padding is omitted: shards
 // hold maps, so false sharing on the header is negligible next to map work.
 type regShard struct {
 	mu   sync.Mutex
-	devs map[int64]*deviceState
+	devs map[int64]deviceState
 }
 
 // Registry is a sharded in-memory device registry: check-in, heartbeat, and
 // assignment bookkeeping are O(1) map operations under a per-shard mutex, so
 // concurrent device traffic spreads across stripes instead of serializing on
-// one lock.
+// one lock. Device records are stored by value in the shard maps — no
+// per-device heap allocation — with the compact deviceState layout.
 type Registry struct {
 	shards []regShard
 	ttl    time.Duration
@@ -86,6 +194,11 @@ type Registry struct {
 	// yet swept) — the O(1) input to quota admission, maintained
 	// atomically because inserts race across shards.
 	known atomic.Int64
+	// interned deduplicates model/platform strings fleet-wide: a
+	// million devices report a few hundred distinct hardware models, so
+	// per-device string bytes are pure waste. sync.Map because the path
+	// is read-mostly after warmup (one store per distinct string ever).
+	interned sync.Map // string -> string
 }
 
 // NewRegistry creates a registry with the given stripe count and liveness
@@ -96,16 +209,32 @@ func NewRegistry(shards int, ttl time.Duration) *Registry {
 	}
 	r := &Registry{shards: make([]regShard, shards), ttl: ttl}
 	for i := range r.shards {
-		r.shards[i].devs = make(map[int64]*deviceState)
+		r.shards[i].devs = make(map[int64]deviceState)
 	}
 	return r
 }
 
-// shard hashes a device ID onto a stripe (Fibonacci multiplicative hash so
-// sequential IDs still spread).
-func (r *Registry) shard(id int64) *regShard {
+// intern returns the registry's canonical copy of s.
+func (r *Registry) intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if v, ok := r.interned.Load(s); ok {
+		return v.(string)
+	}
+	v, _ := r.interned.LoadOrStore(s, s)
+	return v.(string)
+}
+
+// shardIndex hashes a device ID onto a stripe index (Fibonacci
+// multiplicative hash so sequential IDs still spread).
+func (r *Registry) shardIndex(id int64) int {
 	h := uint64(id) * 0x9E3779B97F4A7C15
-	return &r.shards[h%uint64(len(r.shards))]
+	return int(h % uint64(len(r.shards)))
+}
+
+func (r *Registry) shard(id int64) *regShard {
+	return &r.shards[r.shardIndex(id)]
 }
 
 // CheckIn upserts a device's state and stamps it live. It returns true if
@@ -126,23 +255,113 @@ func (r *Registry) TryCheckIn(info DeviceInfo, now time.Time, quota int) (isNew,
 	s := r.shard(info.ID)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return r.checkInLocked(s, info, now, quota)
+}
+
+// checkInLocked is the upsert body shared by the single and batched
+// check-in paths; the caller holds s.mu.
+func (r *Registry) checkInLocked(s *regShard, info DeviceInfo, now time.Time, quota int) (isNew, ok bool) {
 	if d, exists := s.devs[info.ID]; exists {
-		d.info = info
-		d.lastSeen = now
+		d.setInfo(info, r.intern)
+		d.lastSeenNS = now.UnixNano()
+		s.devs[info.ID] = d
 		return false, true
 	}
 	if n := r.known.Add(1); quota > 0 && n > int64(quota) {
 		r.known.Add(-1)
 		return true, false
 	}
-	s.devs[info.ID] = &deviceState{info: info, lastSeen: now}
+	var d deviceState
+	d.setInfo(info, r.intern)
+	d.lastSeenNS = now.UnixNano()
+	s.devs[info.ID] = d
 	return true, true
+}
+
+// CheckInBatch upserts a batch of devices, grouped by registry stripe so
+// each shard's lock is taken once per batch instead of once per device —
+// the registration-storm fast path a virtual-time load plane hits with
+// thousands of check-ins per wire request. Quota semantics match
+// TryCheckIn per device; rejected (new-over-quota) device IDs are
+// returned in input order. newCount counts devices inserted.
+func (r *Registry) CheckInBatch(infos []DeviceInfo, now time.Time, quota int) (newCount int, rejected []int64) {
+	if len(infos) == 0 {
+		return 0, nil
+	}
+	// Group input indices by stripe. For a batch much smaller than the
+	// stripe count the grouping overhead is wasted; fall through to the
+	// simple path there.
+	if len(infos) < 8 {
+		for _, info := range infos {
+			isNew, ok := r.TryCheckIn(info, now, quota)
+			if !ok {
+				rejected = append(rejected, info.ID)
+			} else if isNew {
+				newCount++
+			}
+		}
+		return newCount, rejected
+	}
+	groups := make([][]int32, len(r.shards))
+	for i := range infos {
+		si := r.shardIndex(infos[i].ID)
+		groups[si] = append(groups[si], int32(i))
+	}
+	rejectedIdx := []int32{}
+	for si, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		s := &r.shards[si]
+		s.mu.Lock()
+		for _, i := range g {
+			isNew, ok := r.checkInLocked(s, infos[i], now, quota)
+			if !ok {
+				rejectedIdx = append(rejectedIdx, i)
+			} else if isNew {
+				newCount++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if len(rejectedIdx) > 0 {
+		// Report rejections in input order, not stripe order.
+		sortInt32(rejectedIdx)
+		rejected = make([]int64, len(rejectedIdx))
+		for i, idx := range rejectedIdx {
+			rejected[i] = infos[idx].ID
+		}
+	}
+	return newCount, rejected
+}
+
+// sortInt32 is an insertion sort: rejection lists are empty or tiny, so
+// pulling in sort.Slice's reflection machinery is not worth it.
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // Known returns the current known-device count (inserted and not yet
 // swept) — the same O(1) figure quota admission checks against.
 func (r *Registry) Known() int {
 	return int(r.known.Load())
+}
+
+// deviceFootprintBytes estimates the registry's resident cost of one
+// device: the map entry (key + value) plus amortized bucket overhead.
+// Interned string bytes are shared fleet-wide and excluded. A layout
+// estimate, not heap truth — its job is making deviceState growth show
+// up in /v1/status, not matching pprof byte-for-byte.
+const deviceFootprintBytes = int64(8+unsafe.Sizeof(deviceState{})) + 16
+
+// FootprintBytes estimates the registry's resident device-state bytes —
+// the registry half of the /v1/status footprint section. O(1).
+func (r *Registry) FootprintBytes() int64 {
+	return r.known.Load() * deviceFootprintBytes
 }
 
 // Heartbeat refreshes a device's liveness without changing its reported
@@ -155,7 +374,8 @@ func (r *Registry) Heartbeat(id int64, now time.Time) bool {
 	if !ok {
 		return false
 	}
-	d.lastSeen = now
+	d.lastSeenNS = now.UnixNano()
+	s.devs[id] = d
 	return true
 }
 
@@ -168,7 +388,7 @@ func (r *Registry) Get(id int64) (DeviceInfo, bool) {
 	if !ok {
 		return DeviceInfo{}, false
 	}
-	return d.info, true
+	return d.info(id), true
 }
 
 // Snapshot returns a device's reported state together with its measured
@@ -182,7 +402,7 @@ func (r *Registry) Snapshot(id int64) (DeviceInfo, sched.Telemetry, bool) {
 	if !ok {
 		return DeviceInfo{}, sched.Telemetry{}, false
 	}
-	return d.info, d.tel, true
+	return d.info(id), d.tel.Telemetry(), true
 }
 
 // TelemetryObservation is one update-path serving observation: the
@@ -210,7 +430,7 @@ func (r *Registry) Observe(id int64, o TelemetryObservation, alpha float64, now 
 	if !ok {
 		return
 	}
-	d.tel.LastSample = now
+	d.tel.Touch(now)
 	if o.UpBytes > 0 {
 		d.tel.ObserveUplink(o.UpBytes, o.UpDur, alpha)
 	}
@@ -224,6 +444,7 @@ func (r *Registry) Observe(id int64, o TelemetryObservation, alpha float64, now 
 	// next gate decision runs on this observation, not the stale one
 	// that was being probed.
 	d.gateDenials = 0
+	s.devs[id] = d
 }
 
 // NoteGateDenied records one deadline-gate rejection and returns the
@@ -237,36 +458,51 @@ func (r *Registry) NoteGateDenied(id int64) int {
 	if !ok {
 		return 0
 	}
-	d.gateDenials++
-	return d.gateDenials
+	if d.gateDenials < 1<<30 {
+		d.gateDenials++
+		s.devs[id] = d
+	}
+	return int(d.gateDenials)
 }
 
-// SchedSamples snapshots every live device's telemetry for the
-// scheduler's fleet-view rebuild, stamping each with its radio label and
-// current criteria eligibility. Each sample is aged through
-// Telemetry.Decayed with ttl, so a device idle past the TTL re-enters
-// the cohort map as unmeasured instead of pinned to a stale verdict.
-// O(fleet): it scans every shard, so it belongs in the maintenance loop
-// (once per rebuild period), never on a serving path.
-func (r *Registry) SchedSamples(c availability.Criteria, now time.Time, ttl time.Duration) []sched.DeviceSample {
-	var out []sched.DeviceSample
+// AppendSchedSamples snapshots every live device's telemetry for the
+// scheduler's fleet-view rebuild into out (reusing its capacity — at a
+// million-device census the sample buffer is tens of megabytes, and
+// reallocating it every rebuild period would be most of the rebuild's
+// allocation bill). Each sample is stamped with its radio label and
+// current criteria eligibility, and aged through Telemetry.Decayed with
+// ttl, so a device idle past the TTL re-enters the cohort map as
+// unmeasured instead of pinned to a stale verdict.
+//
+// The walk is sharded, not a full-stop snapshot: each stripe's lock is
+// held only while that stripe is copied, so check-in/task/update traffic
+// on the other stripes never stalls behind the census — and the caller
+// runs the walk off the watchdog tick, so deadline enforcement never
+// waits on it either.
+func (r *Registry) AppendSchedSamples(out []sched.DeviceSample, c availability.Criteria, now time.Time, ttl time.Duration) []sched.DeviceSample {
 	for i := range r.shards {
 		s := &r.shards[i]
 		s.mu.Lock()
 		for id, d := range s.devs {
-			if !r.live(d, now) {
+			if !r.live(&d, now) {
 				continue
 			}
 			out = append(out, sched.DeviceSample{
 				ID:       id,
-				WiFi:     d.info.WiFi,
-				Eligible: c.Admit(d.info.session()),
-				Tel:      d.tel.Decayed(now, ttl),
+				WiFi:     d.flags&devWiFi != 0,
+				Eligible: c.Admit(d.session(id)),
+				Tel:      d.tel.Telemetry().Decayed(now, ttl),
 			})
 		}
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// SchedSamples is AppendSchedSamples into a fresh buffer (tests and
+// one-shot callers; the coordinator's rebuild loop reuses its own).
+func (r *Registry) SchedSamples(c availability.Criteria, now time.Time, ttl time.Duration) []sched.DeviceSample {
+	return r.AppendSchedSamples(nil, c, now, ttl)
 }
 
 // Eligible reports whether the device is known, live at now, idle, and
@@ -278,10 +514,10 @@ func (r *Registry) Eligible(id int64, c availability.Criteria, now time.Time) bo
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.devs[id]
-	if !ok || d.assignedRound != 0 || !r.live(d, now) {
+	if !ok || d.assignedRound != 0 || !r.live(&d, now) {
 		return false
 	}
-	return c.Admit(d.info.session())
+	return c.Admit(d.session(id))
 }
 
 // Assign marks a live, admitted device as holding a task for round. It
@@ -294,11 +530,12 @@ func (r *Registry) Assign(id int64, round uint64, c availability.Criteria, now t
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.devs[id]
-	if !ok || d.assignedRound >= round || !r.live(d, now) || !c.Admit(d.info.session()) {
+	if !ok || d.assignedRound >= round || !r.live(&d, now) || !c.Admit(d.session(id)) {
 		return false
 	}
 	d.assignedRound = round
-	d.lastSeen = now
+	d.lastSeenNS = now.UnixNano()
+	s.devs[id] = d
 	return true
 }
 
@@ -316,6 +553,7 @@ func (r *Registry) ConsumeAssignment(id int64) (round uint64, ok bool) {
 	}
 	round = d.assignedRound
 	d.assignedRound = 0
+	s.devs[id] = d
 	return round, true
 }
 
@@ -325,8 +563,9 @@ func (r *Registry) Release(id int64) {
 	s := r.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if d, ok := s.devs[id]; ok {
+	if d, ok := s.devs[id]; ok && d.assignedRound != 0 {
 		d.assignedRound = 0
+		s.devs[id] = d
 	}
 }
 
@@ -338,6 +577,7 @@ func (r *Registry) ReleaseIf(id int64, round uint64) {
 	defer s.mu.Unlock()
 	if d, ok := s.devs[id]; ok && d.assignedRound == round {
 		d.assignedRound = 0
+		s.devs[id] = d
 	}
 }
 
@@ -352,6 +592,7 @@ func (r *Registry) NoteScreened(id int64) {
 	defer s.mu.Unlock()
 	if d, ok := s.devs[id]; ok {
 		d.tel.Distrust()
+		s.devs[id] = d
 	}
 }
 
@@ -363,7 +604,8 @@ func (r *Registry) NoteDelivered(id int64, version int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if d, ok := s.devs[id]; ok {
-		d.baseVersion = version
+		d.baseVersion = int32(version)
+		s.devs[id] = d
 	}
 }
 
@@ -377,8 +619,8 @@ func (r *Registry) BaseVersions(now time.Time) map[int]int {
 		s := &r.shards[i]
 		s.mu.Lock()
 		for _, d := range s.devs {
-			if d.baseVersion > 0 && r.live(d, now) {
-				out[d.baseVersion]++
+			if d.baseVersion > 0 && r.live(&d, now) {
+				out[int(d.baseVersion)]++
 			}
 		}
 		s.mu.Unlock()
@@ -387,7 +629,7 @@ func (r *Registry) BaseVersions(now time.Time) map[int]int {
 }
 
 func (r *Registry) live(d *deviceState, now time.Time) bool {
-	return r.ttl <= 0 || now.Sub(d.lastSeen) <= r.ttl
+	return r.ttl <= 0 || now.UnixNano()-d.lastSeenNS <= int64(r.ttl)
 }
 
 // Stats is a point-in-time census of the registry.
@@ -406,14 +648,14 @@ func (r *Registry) Census(c availability.Criteria, now time.Time) Stats {
 		s := &r.shards[i]
 		s.mu.Lock()
 		st.Known += len(s.devs)
-		for _, d := range s.devs {
-			if !r.live(d, now) {
+		for id, d := range s.devs {
+			if !r.live(&d, now) {
 				continue
 			}
 			st.Live++
 			if d.assignedRound != 0 {
 				st.Assigned++
-			} else if c.Admit(d.info.session()) {
+			} else if c.Admit(d.session(id)) {
 				st.Eligible++
 			}
 		}
@@ -429,11 +671,12 @@ func (r *Registry) Census(c availability.Criteria, now time.Time) Stats {
 // let async-mode dropouts pin registry entries forever.
 func (r *Registry) Sweep(keep time.Duration, now time.Time) int {
 	n := 0
+	nowNS := now.UnixNano()
 	for i := range r.shards {
 		s := &r.shards[i]
 		s.mu.Lock()
 		for id, d := range s.devs {
-			if now.Sub(d.lastSeen) > keep {
+			if nowNS-d.lastSeenNS > int64(keep) {
 				delete(s.devs, id)
 				n++
 			}

@@ -56,6 +56,15 @@ const (
 	hdrDownBytes = "X-Flint-Down-Bytes"
 	hdrDownMS    = "X-Flint-Down-Ms"
 	hdrTrainMS   = "X-Flint-Train-Ms"
+	// The uplink pair is honored only under virtual-time load
+	// (Sched.TimeCompression > 1): on a real deployment the server's own
+	// body-transfer measurement is the trustworthy uplink probe, but a
+	// compressed-time device's wire transfer happens at loopback speed in
+	// wall time while its simulated link lives in the virtual clock — the
+	// device must report the uplink half too or its UpBps EWMA would be
+	// off by the compression factor.
+	hdrUpBytes = "X-Flint-Up-Bytes"
+	hdrUpMS    = "X-Flint-Up-Ms"
 )
 
 // maxUpdateBody bounds a /v1/update body read: the largest zoo model is
@@ -87,6 +96,35 @@ type CheckInRequest struct {
 	// means a legacy client that decodes everything this server ships.
 	AcceptSchemes string `json:"accept_schemes,omitempty"`
 }
+
+// BatchCheckInRequest is the POST /v1/checkin/batch body: many check-ins
+// in one request, the registration-storm fast path (one HTTP round trip
+// and one registry lock acquisition per shard for the whole batch).
+type BatchCheckInRequest struct {
+	Devices []CheckInRequest `json:"devices"`
+}
+
+// BatchCheckInResponse is the POST /v1/checkin/batch reply: aggregate
+// counts, not per-device echoes — devices learn their cohort and schemes
+// on their first task request.
+type BatchCheckInResponse struct {
+	Accepted int `json:"accepted"`
+	New      int `json:"new"`
+	Eligible int `json:"eligible"`
+	// RejectedIDs lists devices turned away by the device quota (they
+	// were not registered and should retry after a sweep frees slots).
+	RejectedIDs []int64 `json:"rejected_ids,omitempty"`
+	Version     int     `json:"model_version"`
+	RoundID     uint64  `json:"round_id"`
+}
+
+// maxCheckInBatch bounds one batch check-in's device count; larger fleets
+// split across requests. The matching body budget assumes a generous
+// per-entry JSON size.
+const (
+	maxCheckInBatch     = 8192
+	maxCheckInBatchBody = 8 << 20
+)
 
 // CheckInResponse is the POST /v1/checkin reply.
 type CheckInResponse struct {
@@ -163,6 +201,7 @@ type jsonParamsCache struct {
 func NewServer(c *Coordinator) *Server {
 	s := &Server{c: c, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/checkin", s.handleCheckIn)
+	s.mux.HandleFunc("POST /v1/checkin/batch", s.handleCheckInBatch)
 	s.mux.HandleFunc("POST /v1/heartbeat", s.handleHeartbeat)
 	s.mux.HandleFunc("GET /v1/task", s.handleTask)
 	s.mux.HandleFunc("POST /v1/update", s.handleUpdate)
@@ -189,27 +228,7 @@ func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad check-in body: %w", err))
 		return
 	}
-	info := DeviceInfo{
-		ID:          req.DeviceID,
-		Model:       req.Model,
-		Platform:    req.Platform,
-		WiFi:        req.WiFi,
-		BatteryHigh: req.BatteryHigh,
-		ModernOS:    req.ModernOS,
-		SessionSec:  req.SessionSec,
-		Weight:      req.Weight,
-	}
-	if req.AcceptSchemes != "" {
-		kinds, unknown := transport.ParseAccept(req.AcceptSchemes)
-		if unknown > 0 {
-			// Future clients may advertise schemes this server has
-			// never heard of; they degrade through negotiation, but
-			// the operator should be able to see it happening.
-			s.c.counters.Counter("checkin_unknown_scheme").Add(int64(unknown))
-		}
-		info.Accept = kinds
-	}
-	res := s.c.CheckIn(info)
+	res := s.c.CheckIn(s.deviceInfo(req))
 	if res.OverQuota {
 		// The job's device quota is full: the device was not registered.
 		// 429 + Retry-After is the contract — sweeps free slots as stale
@@ -226,6 +245,68 @@ func (s *Server) handleCheckIn(w http.ResponseWriter, r *http.Request) {
 		Cohort:       res.Cohort,
 		TaskScheme:   res.Policy.Task.String(),
 		UpdateScheme: res.Policy.Update.String(),
+	})
+}
+
+// deviceInfo converts a check-in wire record to the registry form,
+// counting unknown advertised schemes (future clients may advertise
+// schemes this server has never heard of; they degrade through
+// negotiation, but the operator should be able to see it happening).
+func (s *Server) deviceInfo(req CheckInRequest) DeviceInfo {
+	info := DeviceInfo{
+		ID:          req.DeviceID,
+		Model:       req.Model,
+		Platform:    req.Platform,
+		WiFi:        req.WiFi,
+		BatteryHigh: req.BatteryHigh,
+		ModernOS:    req.ModernOS,
+		SessionSec:  req.SessionSec,
+		Weight:      req.Weight,
+	}
+	if req.AcceptSchemes != "" {
+		kinds, unknown := transport.ParseAccept(req.AcceptSchemes)
+		if unknown > 0 {
+			s.c.counters.Counter("checkin_unknown_scheme").Add(int64(unknown))
+		}
+		info.Accept = kinds
+	}
+	return info
+}
+
+func (s *Server) handleCheckInBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchCheckInRequest
+	body := http.MaxBytesReader(w, r.Body, maxCheckInBatchBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch body exceeds %d-byte limit", maxCheckInBatchBody))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch check-in body: %w", err))
+		return
+	}
+	if len(req.Devices) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty device batch"))
+		return
+	}
+	if len(req.Devices) > maxCheckInBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d devices exceeds %d-device limit", len(req.Devices), maxCheckInBatch))
+		return
+	}
+	infos := make([]DeviceInfo, len(req.Devices))
+	for i := range req.Devices {
+		infos[i] = s.deviceInfo(req.Devices[i])
+	}
+	res := s.c.CheckInBatch(infos)
+	writeJSON(w, http.StatusOK, BatchCheckInResponse{
+		Accepted:    res.Accepted,
+		New:         res.New,
+		Eligible:    res.Eligible,
+		RejectedIDs: res.RejectedIDs,
+		Version:     res.Version,
+		RoundID:     res.RoundID,
 	})
 }
 
@@ -505,6 +586,19 @@ const maxReportedMS = 3_600_000
 // caps the implied throughput of each observation).
 func (s *Server) observeUpdate(r *http.Request, id int64, upBytes int, upDur time.Duration) {
 	o := TelemetryObservation{UpBytes: upBytes, UpDur: upDur}
+	// Under virtual-time load the wall-clock body transfer is loopback
+	// noise; the device's own virtual-clock uplink report is the real
+	// signal. Honored only when the scheduler runs compressed time — on a
+	// production clock (compression 1) a client-controlled uplink claim
+	// could whitewash a slow link, so the server's measurement stands.
+	if s.c.Scheduler().Config().TimeCompression > 1 {
+		if b, err := strconv.Atoi(r.Header.Get(hdrUpBytes)); err == nil && b > 0 && b <= maxUpdateBody {
+			if ms, err := strconv.ParseFloat(r.Header.Get(hdrUpMS), 64); err == nil && ms > 0 && ms <= maxReportedMS {
+				o.UpBytes = b
+				o.UpDur = time.Duration(ms * float64(time.Millisecond))
+			}
+		}
+	}
 	if b, err := strconv.Atoi(r.Header.Get(hdrDownBytes)); err == nil && b > 0 && b <= maxUpdateBody {
 		if ms, err := strconv.ParseFloat(r.Header.Get(hdrDownMS), 64); err == nil && ms > 0 && ms <= maxReportedMS {
 			o.DownBytes = b

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestTimeCompressionEquivalence is the virtual-time clock contract's
+// proof obligation: a fleet whose devices report timings in a compressed
+// virtual clock (telemetry EWMAs numerically equal to the wall fleet's,
+// arriving S times faster) against a server whose RoundDeadline is D/S
+// must produce exactly the wall-clock fleet's decisions — the same
+// cohort remapping, the same deadline-gate verdicts, the same
+// over-commit scale. Any divergence means compressed load tests measure
+// a different scheduler than production runs.
+func TestTimeCompressionEquivalence(t *testing.T) {
+	const S = 60.0
+	const wallDeadline = 30 * time.Second
+	rng := rand.New(rand.NewSource(42))
+
+	// A mixed fleet: measured fast devices, measured slow devices,
+	// unmeasured devices, some ineligible — every branch the cohort map
+	// and the over-commit model take.
+	now := time.Unix(1_700_000_000, 0)
+	devs := make([]DeviceSample, 400)
+	for i := range devs {
+		var tel Telemetry
+		switch i % 4 {
+		case 0: // fast, well measured
+			tel = Telemetry{
+				UpBps: 2e5 + rng.Float64()*1e6, DownBps: 5e5 + rng.Float64()*2e6,
+				TaskSec:   1 + rng.Float64()*5,
+				UpSamples: 4, DownSamples: 4, TaskSamples: 4, LastSample: now,
+			}
+		case 1: // slow link: below the lowbw threshold, long tasks
+			tel = Telemetry{
+				UpBps: 2e3 + rng.Float64()*2e4, DownBps: 1e3 + rng.Float64()*1.8e5,
+				TaskSec:   10 + rng.Float64()*60,
+				UpSamples: 3, DownSamples: 3, TaskSamples: 3, LastSample: now,
+			}
+		case 2: // one sample: below MinSamples, must stay on radio label
+			tel = Telemetry{DownBps: 1e4, DownSamples: 1, LastSample: now}
+		default: // never observed
+		}
+		devs[i] = DeviceSample{ID: int64(i + 1), WiFi: i%3 != 0, Eligible: i%5 != 0, Tel: tel}
+	}
+	ests := map[string]TaskEstimate{
+		"default": {DownBytes: 760_000, UpBytes: 190_000},
+		"lowbw":   {DownBytes: 48_000, UpBytes: 190_000},
+	}
+
+	wall := mustNew(t, Config{MinSamples: 2})
+	wall.Rebuild(devs, wallDeadline, ests)
+	comp := mustNew(t, Config{MinSamples: 2, TimeCompression: S})
+	comp.Rebuild(devs, time.Duration(float64(wallDeadline)/S), ests)
+
+	wr, cr := wall.Report(), comp.Report()
+	if wr.OverCommitScale != cr.OverCommitScale {
+		t.Errorf("over-commit diverged: wall x%v, compressed x%v", wr.OverCommitScale, cr.OverCommitScale)
+	}
+	if wr.Measured != cr.Measured || wr.Remapped != cr.Remapped {
+		t.Errorf("census diverged: wall measured/remapped %d/%d, compressed %d/%d",
+			wr.Measured, wr.Remapped, cr.Measured, cr.Remapped)
+	}
+	if wr.OnTimeFraction != cr.OnTimeFraction {
+		t.Errorf("on-time fraction diverged: %v vs %v", wr.OnTimeFraction, cr.OnTimeFraction)
+	}
+	for _, d := range devs {
+		if wc, cc := wall.Cohort(d.ID), comp.Cohort(d.ID); wc != cc {
+			t.Fatalf("device %d: cohort %q under wall clock, %q compressed", d.ID, wc, cc)
+		}
+		est := ests[wall.Cohort(d.ID)]
+		// The gate sees the full round window in each clock's own wall
+		// domain: D for the wall fleet, D/S for the compressed one.
+		wAdmit := wall.Admit(d.Tel, wallDeadline, est)
+		cAdmit := comp.Admit(d.Tel, time.Duration(float64(wallDeadline)/S), est)
+		if wAdmit != cAdmit {
+			t.Fatalf("device %d: deadline gate %v under wall clock, %v compressed (tel %+v)",
+				d.ID, wAdmit, cAdmit, d.Tel)
+		}
+	}
+
+	// The estimate itself must land in the scheduler's wall domain:
+	// virtual-domain telemetry divided by S.
+	tel := Telemetry{UpBps: 1e5, DownBps: 1e6, TaskSec: 12,
+		UpSamples: 3, DownSamples: 3, TaskSamples: 3, LastSample: now}
+	wEst, ok1 := wall.EstimateSeconds(tel, ests["default"])
+	cEst, ok2 := comp.EstimateSeconds(tel, ests["default"])
+	if !ok1 || !ok2 {
+		t.Fatal("estimate not trusted despite samples")
+	}
+	if got, want := cEst, wEst/S; !approxEq(got, want) {
+		t.Fatalf("compressed estimate %v, want wall estimate %v / %v = %v", got, wEst, S, want)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+b)
+}
+
+// TestTimeCompressionValidation pins the config contract: compression
+// below 1 is rejected (virtual time cannot run slower than wall), and
+// the zero value defaults to production's 1:1 clock.
+func TestTimeCompressionValidation(t *testing.T) {
+	if _, err := (Config{TimeCompression: 0.5}).WithDefaults(); err == nil {
+		t.Fatal("compression 0.5 accepted")
+	}
+	cfg, err := Config{}.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TimeCompression != 1 {
+		t.Fatalf("default compression %v, want 1", cfg.TimeCompression)
+	}
+	for _, s := range []float64{1, 60, 720} {
+		if _, err := (Config{TimeCompression: s}).WithDefaults(); err != nil {
+			t.Fatalf("compression %v rejected: %v", s, err)
+		}
+	}
+}

@@ -87,4 +87,28 @@ type Report struct {
 	// rebuild has measured data).
 	OnTimeFraction  float64 `json:"on_time_fraction,omitempty"`
 	OverCommitScale float64 `json:"over_commit_scale,omitempty"`
+	// Footprint is the serving tier's per-device memory accounting —
+	// how footprint regressions become visible without a profiler. The
+	// scheduler half is filled at rebuild; the registry half is stamped
+	// in by the coordinator when it assembles /v1/status.
+	Footprint Footprint `json:"footprint"`
+}
+
+// Footprint is the memory cost of tracking one device across the serving
+// tier: the registry's resident per-device state and the scheduler's
+// rebuild working set (census buffer plus cohort map). The byte figures
+// are layout-derived estimates (struct sizes plus amortized map-bucket
+// overhead), not heap-profiler truth — stable enough to gate on, cheap
+// enough to compute on every status request.
+type Footprint struct {
+	// Devices is the device count the byte figures are amortized over
+	// (the registry's known-device census).
+	Devices int `json:"devices"`
+	// RegistryBytes estimates the registry's resident device state.
+	RegistryBytes       int64   `json:"registry_bytes"`
+	RegistryBytesPerDev float64 `json:"registry_bytes_per_device"`
+	// SchedulerBytes estimates the rebuild working set retained between
+	// fleet censuses (the reused sample buffer and the cohort map).
+	SchedulerBytes       int64   `json:"scheduler_bytes"`
+	SchedulerBytesPerDev float64 `json:"scheduler_bytes_per_device"`
 }

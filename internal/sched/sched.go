@@ -44,6 +44,7 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"flint/internal/codec"
 	"flint/internal/transport"
@@ -102,6 +103,19 @@ type Config struct {
 	// RebuildEvery is how often the coordinator refreshes the fleet view
 	// (cohort map, over-commit, histograms). Default 2s.
 	RebuildEvery time.Duration
+	// TimeCompression is the virtual-time load plane's clock contract:
+	// how many *virtual* seconds elapse per wall second (internal/vload's
+	// compression factor). Devices driven by a compressed virtual clock
+	// report transfer and training durations in virtual time, so their
+	// telemetry EWMAs equal the true simulated link rates — but the round
+	// deadline the gate and the over-commit model reason about is wall
+	// clock. Dividing every duration estimate by the compression factor
+	// maps it into the wall domain: with the server's RoundDeadline set
+	// to (virtual deadline)/S, the gate decision E/S <= (D/S)·slack is
+	// exactly the wall-clock fleet's E <= D·slack, so cohort remapping
+	// and deadline gating match the uncompressed fleet decision-for-
+	// decision. Default 1 (production: wall time IS virtual time).
+	TimeCompression float64
 }
 
 // WithDefaults fills zero fields and validates the result.
@@ -144,6 +158,12 @@ func (c Config) WithDefaults() (Config, error) {
 	}
 	if c.RebuildEvery <= 0 {
 		c.RebuildEvery = 2 * time.Second
+	}
+	if c.TimeCompression == 0 {
+		c.TimeCompression = 1
+	}
+	if c.TimeCompression < 1 {
+		return c, fmt.Errorf("sched: time compression %v below 1", c.TimeCompression)
 	}
 	return c, nil
 }
@@ -228,6 +248,11 @@ type TaskEstimate struct {
 // cold-connection artifact can neither deny a device at the deadline
 // gate nor skew the over-commit scale and status quantiles. Callers
 // treat !ok as "unmeasured" and admit optimistically.
+//
+// The returned estimate is in *wall* seconds: telemetry durations arrive
+// in the device clock's domain (virtual time under a compressed load
+// plane), and the TimeCompression divide maps the telemetry-domain
+// estimate onto the wall-clock deadline window the gate compares against.
 func (s *Scheduler) EstimateSeconds(tel Telemetry, est TaskEstimate) (float64, bool) {
 	if tel.DownSamples < s.cfg.MinSamples || tel.UpSamples < s.cfg.MinSamples {
 		return 0, false
@@ -240,7 +265,7 @@ func (s *Scheduler) EstimateSeconds(tel Telemetry, est TaskEstimate) (float64, b
 		// forget it.
 		sec += tel.TaskSec
 	}
-	return sec, true
+	return sec / s.cfg.TimeCompression, true
 }
 
 // Admit is the deadline gate: it reports whether the device's estimated
@@ -355,6 +380,11 @@ func (s *Scheduler) Rebuild(devs []DeviceSample, deadline time.Duration, ests ma
 		}
 	}
 	next.report.Devices = len(devs)
+	next.report.Footprint.SchedulerBytes = schedulerFootprint(devs, len(next.cohorts))
+	if len(devs) > 0 {
+		next.report.Footprint.SchedulerBytesPerDev =
+			float64(next.report.Footprint.SchedulerBytes) / float64(len(devs))
+	}
 	if len(estimates) > 0 {
 		sort.Float64s(estimates)
 		next.report.EstTaskP50Sec = quantile(estimates, 0.50)
@@ -381,6 +411,22 @@ func (s *Scheduler) Rebuild(devs []DeviceSample, deadline time.Duration, ests ma
 	}
 	next.report.OverCommitScale = next.overCommit
 	s.view.Store(next)
+}
+
+// mapEntryOverheadBytes approximates Go's per-entry map bookkeeping
+// (tophash byte, load-factor headroom, overflow-bucket amortization) for
+// footprint accounting. An estimate, deliberately round.
+const mapEntryOverheadBytes = 16
+
+// schedulerFootprint estimates the rebuild working set: the census
+// buffer's full capacity (the coordinator reuses it across rebuilds, so
+// capacity — not length — is what stays resident) plus the cohort map.
+func schedulerFootprint(devs []DeviceSample, cohortEntries int) int64 {
+	const sampleBytes = int64(unsafe.Sizeof(DeviceSample{}))
+	// A cohort entry is an int64 key plus a string header; the string
+	// bytes themselves are the two shared cohort-name constants.
+	const cohortEntryBytes = 8 + 16 + mapEntryOverheadBytes
+	return int64(cap(devs))*sampleBytes + int64(cohortEntries)*cohortEntryBytes
 }
 
 // quantile reads the q-quantile from an ascending slice.

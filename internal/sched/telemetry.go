@@ -1,6 +1,9 @@
 package sched
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Telemetry is one device's measured serving history: EWMA link
 // throughput in each direction plus the reported local-task duration.
@@ -105,6 +108,87 @@ func (t *Telemetry) Distrust() {
 // sample count, and an unbounded shift of a huge idle/ttl ratio would be
 // undefined behavior territory for the compiler's shift lowering.
 const maxDecaySteps = 32
+
+// TelemetryState is the storage-compact form of Telemetry the registry
+// embeds per device: the same EWMAs and trust counters packed into 32
+// bytes (float32 means, uint16 sample counts, a unix-nano decay clock)
+// against Telemetry's 72 — less than half the per-device telemetry cost
+// at a million-device census. float32 keeps ~7 significant digits,
+// well inside the EWMA's own measurement noise; sample counts saturate
+// at 65535, which the trust gates cannot distinguish from infinity.
+// Telemetry stays the census/decision value type; the registry expands
+// state to it at snapshot time.
+type TelemetryState struct {
+	lastSampleNS            int64
+	upBps, downBps, taskSec float32
+	upN, downN, taskN       uint16
+}
+
+// Touch stamps the decay clock (a fresh observation of any kind).
+func (t *TelemetryState) Touch(now time.Time) { t.lastSampleNS = now.UnixNano() }
+
+// ObserveUplink folds one observed /v1/update transfer into the uplink
+// EWMA — Telemetry.ObserveUplink's semantics on the compact layout.
+func (t *TelemetryState) ObserveUplink(bytes int, d time.Duration, alpha float64) {
+	if bytes <= 0 {
+		return
+	}
+	if d < minTransfer {
+		d = minTransfer
+	}
+	t.upBps = float32(ewma(float64(t.upBps), clampBps(float64(bytes)/d.Seconds()), alpha, int(t.upN)))
+	t.upN = satInc(t.upN)
+}
+
+// ObserveDownlink folds one reported task-download transfer into the
+// downlink EWMA.
+func (t *TelemetryState) ObserveDownlink(bytes int, d time.Duration, alpha float64) {
+	if bytes <= 0 {
+		return
+	}
+	if d < minTransfer {
+		d = minTransfer
+	}
+	t.downBps = float32(ewma(float64(t.downBps), clampBps(float64(bytes)/d.Seconds()), alpha, int(t.downN)))
+	t.downN = satInc(t.downN)
+}
+
+// ObserveTask folds one reported local-training duration into the
+// task-duration EWMA.
+func (t *TelemetryState) ObserveTask(d time.Duration, alpha float64) {
+	if d <= 0 {
+		return
+	}
+	t.taskSec = float32(ewma(float64(t.taskSec), d.Seconds(), alpha, int(t.taskN)))
+	t.taskN = satInc(t.taskN)
+}
+
+// Distrust zeroes the earned sample counts, keeping the EWMA values —
+// see Telemetry.Distrust.
+func (t *TelemetryState) Distrust() { t.upN, t.downN, t.taskN = 0, 0, 0 }
+
+// Telemetry expands the compact state to the census/decision value form.
+func (t TelemetryState) Telemetry() Telemetry {
+	out := Telemetry{
+		UpBps:       float64(t.upBps),
+		DownBps:     float64(t.downBps),
+		TaskSec:     float64(t.taskSec),
+		UpSamples:   int(t.upN),
+		DownSamples: int(t.downN),
+		TaskSamples: int(t.taskN),
+	}
+	if t.lastSampleNS != 0 {
+		out.LastSample = time.Unix(0, t.lastSampleNS)
+	}
+	return out
+}
+
+func satInc(n uint16) uint16 {
+	if n == math.MaxUint16 {
+		return n
+	}
+	return n + 1
+}
 
 // Decayed ages the telemetry toward "unmeasured": every full ttl elapsed
 // since the last observation halves each EWMA's earned sample count (the

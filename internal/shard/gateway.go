@@ -45,7 +45,7 @@ type GatewayConfig struct {
 var gatewayCounters = []string{
 	"route_by_device", "route_default", "route_rejected",
 	"halt_rejected_tasks", "proxy_errors", "rollup_requests",
-	"partials_proxied",
+	"partials_proxied", "checkin_batch_split",
 }
 
 // haltRetryAfter renders a 503 halt response's Retry-After with ±25%
@@ -176,6 +176,12 @@ func (g *Gateway) route(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown path %q", r.URL.Path))
 		return
 	}
+	if verb == "checkin" && strings.HasSuffix(r.URL.Path, "/checkin/batch") {
+		// A batch check-in carries devices for many ring positions in one
+		// body; it must be split per owning shard, not routed whole.
+		g.routeCheckInBatch(w, r)
+		return
+	}
 	var (
 		body   io.Reader = r.Body
 		length           = r.ContentLength
@@ -226,6 +232,96 @@ func (g *Gateway) route(w http.ResponseWriter, r *http.Request) {
 		g.counters.Counter("route_default").Inc()
 	}
 	g.proxy(w, r, shard, body, length)
+}
+
+// routeCheckInBatch splits one batched check-in across the ring: the
+// body is decoded once, its devices partitioned by consistent-hashed
+// owner, and per-shard sub-batches forwarded concurrently, so a
+// registration storm keeps the batch path's per-shard lock amortization
+// end to end instead of collapsing to one mis-routed shard. The merged
+// reply sums the per-shard counts; any shard failure fails the whole
+// batch with 502 (check-ins are idempotent, so the load plane just
+// retries the batch).
+func (g *Gateway) routeCheckInBatch(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRoutedJSONBody))
+	if err != nil {
+		g.counters.Counter("route_rejected").Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var req coord.BatchCheckInRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		g.counters.Counter("route_rejected").Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		return
+	}
+	parts := make([][]coord.CheckInRequest, len(g.shards))
+	for _, d := range req.Devices {
+		si := g.ring.Shard(d.DeviceID)
+		parts[si] = append(parts[si], d)
+	}
+	g.counters.Counter("checkin_batch_split").Inc()
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		merged coord.BatchCheckInResponse
+		fails  []error
+	)
+	for si, devs := range parts {
+		if len(devs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, devs []coord.CheckInRequest) {
+			defer wg.Done()
+			body, err := json.Marshal(coord.BatchCheckInRequest{Devices: devs})
+			if err == nil {
+				var sub *http.Request
+				sub, err = http.NewRequestWithContext(r.Context(), http.MethodPost,
+					g.shards[si]+r.URL.RequestURI(), bytes.NewReader(body))
+				if err == nil {
+					sub.Header.Set("Content-Type", "application/json")
+					var resp *http.Response
+					if resp, err = g.client.Do(sub); err == nil {
+						defer resp.Body.Close()
+						var sr coord.BatchCheckInResponse
+						if resp.StatusCode != http.StatusOK {
+							err = fmt.Errorf("shard %d: status %s", si, resp.Status)
+						} else if err = json.NewDecoder(resp.Body).Decode(&sr); err == nil {
+							mu.Lock()
+							merged.Accepted += sr.Accepted
+							merged.New += sr.New
+							merged.Eligible += sr.Eligible
+							merged.RejectedIDs = append(merged.RejectedIDs, sr.RejectedIDs...)
+							// Shards publish independent version sequences;
+							// report the tier's furthest-along pair, which is
+							// all the advisory field promises here.
+							if sr.Version > merged.Version {
+								merged.Version = sr.Version
+							}
+							if sr.RoundID > merged.RoundID {
+								merged.RoundID = sr.RoundID
+							}
+							mu.Unlock()
+						}
+					}
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				fails = append(fails, err)
+				mu.Unlock()
+			}
+		}(si, devs)
+	}
+	wg.Wait()
+	if len(fails) > 0 {
+		g.counters.Counter("proxy_errors").Inc()
+		writeError(w, http.StatusBadGateway, fmt.Errorf("batch check-in: %d shard(s) failed: %v", len(fails), fails[0]))
+		return
+	}
+	g.counters.Counter("route_by_device").Inc()
+	writeJSON(w, http.StatusOK, merged)
 }
 
 // bufferDeviceJSON reads a JSON body once, extracts its device_id, and

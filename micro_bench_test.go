@@ -888,36 +888,51 @@ func BenchmarkMultiJobTaskServe(b *testing.B) {
 
 // BenchmarkSchedCohortRebuild measures the scheduler's fleet-view
 // rebuild — the O(fleet) cohort-map + over-commit + histogram pass the
-// watchdog pays every rebuild period — at a 5000-device census.
+// watchdog pays every rebuild period — up the census ladder the virtual
+// load plane drives: 5k (the goroutine fleet's scale), 100k (the CI
+// compressed-time smoke), and 1M (the full vload proof run). The rungs
+// pin both the per-device cost and that it stays flat as the census
+// grows three orders of magnitude.
 func BenchmarkSchedCohortRebuild(b *testing.B) {
-	s, err := sched.New(sched.Config{MinSamples: 1})
-	if err != nil {
-		b.Fatal(err)
+	for _, bench := range []struct {
+		name string
+		n    int
+	}{
+		{"census=5k", 5_000},
+		{"census=100k", 100_000},
+		{"census=1m", 1_000_000},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			s, err := sched.New(sched.Config{MinSamples: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			devs := make([]sched.DeviceSample, bench.n)
+			for i := range devs {
+				bps := 1e4 * math.Exp(rng.NormFloat64()*2)
+				devs[i] = sched.DeviceSample{
+					ID:       int64(i + 1),
+					WiFi:     rng.Intn(2) == 0,
+					Eligible: rng.Intn(4) > 0,
+					Tel: sched.Telemetry{
+						DownBps: bps, UpBps: bps * 0.4, TaskSec: 0.5 + rng.Float64(),
+						DownSamples: 3, UpSamples: 3, TaskSamples: 3,
+					},
+				}
+			}
+			est := map[string]sched.TaskEstimate{
+				"default": {DownBytes: 760_000, UpBytes: 190_000},
+				"lowbw":   {DownBytes: 48_000, UpBytes: 190_000},
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Rebuild(devs, 15*time.Second, est)
+			}
+			b.ReportMetric(float64(len(devs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mdev/sec")
+		})
 	}
-	rng := rand.New(rand.NewSource(1))
-	devs := make([]sched.DeviceSample, 5000)
-	for i := range devs {
-		bps := 1e4 * math.Exp(rng.NormFloat64()*2)
-		devs[i] = sched.DeviceSample{
-			ID:       int64(i + 1),
-			WiFi:     rng.Intn(2) == 0,
-			Eligible: rng.Intn(4) > 0,
-			Tel: sched.Telemetry{
-				DownBps: bps, UpBps: bps * 0.4, TaskSec: 0.5 + rng.Float64(),
-				DownSamples: 3, UpSamples: 3, TaskSamples: 3,
-			},
-		}
-	}
-	est := map[string]sched.TaskEstimate{
-		"default": {DownBytes: 760_000, UpBytes: 190_000},
-		"lowbw":   {DownBytes: 48_000, UpBytes: 190_000},
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Rebuild(devs, 15*time.Second, est)
-	}
-	b.ReportMetric(float64(len(devs))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mdev/sec")
 }
 
 // BenchmarkSchedAssignUnderChurn measures assignment throughput while
